@@ -1,0 +1,30 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one paper table/figure via the corresponding
+``repro.experiments`` module, prints the rendered table (visible with
+``pytest -s``), and archives it under ``benchmarks/out/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "out"))
+
+
+@pytest.fixture
+def record_result():
+    """Print an ExperimentResult and archive its rendering."""
+
+    def _record(name: str, result) -> None:
+        text = result.render()
+        print("\n" + text)
+        OUT_DIR.mkdir(parents=True, exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

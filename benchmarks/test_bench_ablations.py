@@ -1,0 +1,28 @@
+"""Regenerates the DESIGN.md ablation studies (beyond the paper's figures)."""
+
+from repro.experiments import ablation
+
+
+def test_bench_ablation_ecp_density(benchmark, record_result):
+    result = benchmark.pedantic(
+        ablation.run_ecp_density_ablation, rounds=1, iterations=1
+    )
+    record_result("ablation_ecp_density", result)
+    # The low-density ECP chip is the point of Section 4.2: the naive super
+    # dense ECP chip must give back a chunk of LazyC's win.
+    assert result.metrics["low_density"] > result.metrics["dense"]
+
+
+def test_bench_ablation_read_priority(benchmark, record_result):
+    result = benchmark.pedantic(
+        ablation.run_read_priority_ablation, rounds=1, iterations=1
+    )
+    record_result("ablation_read_priority", result)
+    assert result.metrics["WP+LazyC"] >= result.metrics["LazyC"] * 0.95
+    assert result.metrics["WC+LazyC"] >= result.metrics["LazyC"] * 0.95
+
+
+def test_bench_ablation_din(benchmark, record_result):
+    result = benchmark.pedantic(ablation.run_din_ablation, rounds=1, iterations=1)
+    record_result("ablation_din", result)
+    assert result.metrics["without_din"] > 2 * result.metrics["with_din"]

@@ -1,0 +1,9 @@
+"""Regenerates the Figure 1 / Section 6.1 capacity analysis."""
+
+from repro.experiments import capacity
+
+
+def test_bench_capacity(benchmark, record_result):
+    result = benchmark.pedantic(capacity.run_experiment, rounds=1, iterations=1)
+    record_result("capacity", result)
+    assert abs(result.metrics["capacity_gain"] - 0.80) < 0.01

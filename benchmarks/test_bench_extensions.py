@@ -1,0 +1,22 @@
+"""Regenerates the encoder trade-off and energy extension studies."""
+
+from repro.experiments import encoders, energy
+
+
+def test_bench_encoders(benchmark, record_result):
+    result = benchmark.pedantic(
+        encoders.run_experiment, kwargs={"length": 400}, rounds=1, iterations=1
+    )
+    record_result("encoders", result)
+    m = result.metrics
+    assert m["fnw_cells"] <= m["raw_cells"]          # FNW never writes more
+    assert m["din_vulnerable"] < m["raw_vulnerable"]  # DIN cuts vulnerability
+    assert m["din_vulnerable"] < m["fnw_vulnerable"]
+
+
+def test_bench_energy(benchmark, record_result):
+    result = benchmark.pedantic(energy.run_experiment, rounds=1, iterations=1)
+    record_result("energy", result)
+    m = result.metrics
+    assert m["DIN"] == 0.0 and m["(1:2)"] < 0.02
+    assert m["baseline"] > m["LazyC"] > 0.0

@@ -1,0 +1,17 @@
+"""Regenerates Figure 11: scheme comparison (the headline result)."""
+
+from repro.experiments import figure11
+
+
+def test_bench_figure11(benchmark, record_result):
+    result = benchmark.pedantic(figure11.run_experiment, rounds=1, iterations=1)
+    record_result("figure11", result)
+    m = result.metrics
+    # Paper ordering: baseline < LazyC < {LazyC+PreRead, LazyC+(2:3)} <
+    # all-three <= (1:2) ~= DIN.
+    assert m["baseline"] == 1.0
+    assert 1.0 < m["LazyC"] < m["LazyC+PreRead"]
+    assert m["LazyC"] < m["LazyC+(2:3)"]
+    assert m["LazyC+PreRead"] < m["LazyC+PreRead+(2:3)"]
+    assert m["LazyC+PreRead+(2:3)"] < m["DIN"] * 1.02
+    assert abs(m["(1:2)"] - m["DIN"]) / m["DIN"] < 0.06

@@ -1,0 +1,14 @@
+"""Regenerates Figure 12: corrections per write vs ECP entries."""
+
+from repro.experiments import figure12
+
+
+def test_bench_figure12(benchmark, record_result):
+    result = benchmark.pedantic(figure12.run_experiment, rounds=1, iterations=1)
+    record_result("figure12", result)
+    m = result.metrics
+    # Paper shape: ~1.8 at ECP-0 collapsing to ~0 by ECP-6.
+    assert 1.2 < m["ecp0"] < 2.2
+    assert m["ecp4"] < 0.3
+    assert m["ecp6"] < 0.1
+    assert m["ecp0"] > m["ecp2"] > m["ecp4"] >= m["ecp6"] >= m["ecp8"]

@@ -1,0 +1,12 @@
+"""Regenerates Figure 13: speedup vs ECP entries."""
+
+from repro.experiments import figure13
+
+
+def test_bench_figure13(benchmark, record_result):
+    result = benchmark.pedantic(figure13.run_experiment, rounds=1, iterations=1)
+    record_result("figure13", result)
+    m = result.metrics
+    # Paper shape: big jump from ECP-0 to ECP-6 (~21%), flat afterwards.
+    assert m["ecp6"] > m["ecp0"] * 1.05
+    assert abs(m["ecp10"] - m["ecp6"]) < 0.05 * m["ecp6"]

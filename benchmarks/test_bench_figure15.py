@@ -1,0 +1,12 @@
+"""Regenerates Figure 15: write-queue size sensitivity (LazyC+PreRead)."""
+
+from repro.experiments import figure15
+
+
+def test_bench_figure15(benchmark, record_result):
+    result = benchmark.pedantic(figure15.run_experiment, rounds=1, iterations=1)
+    record_result("figure15", result)
+    m = result.metrics
+    # Paper shape: 32 entries about as good as 64; all sizes beat baseline.
+    assert m["wq32"] > 1.0
+    assert abs(m["wq64"] - m["wq32"]) < 0.12 * m["wq32"]

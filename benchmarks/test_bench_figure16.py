@@ -1,0 +1,12 @@
+"""Regenerates Figure 16: (n:m) ratio sweep."""
+
+from repro.experiments import figure16
+
+
+def test_bench_figure16(benchmark, record_result):
+    result = benchmark.pedantic(figure16.run_experiment, rounds=1, iterations=1)
+    record_result("figure16", result)
+    m = result.metrics
+    # Paper shape: monotone improvement toward (1:2).
+    assert m["1:2"] >= m["2:3"] >= m["3:4"] >= m["7:8"] * 0.98
+    assert m["1:2"] > 1.1

@@ -1,0 +1,11 @@
+"""Regenerates Figure 17: data-chip lifetime degradation."""
+
+from repro.experiments import figure17
+
+
+def test_bench_figure17(benchmark, record_result):
+    result = benchmark.pedantic(figure17.run_experiment, rounds=1, iterations=1)
+    record_result("figure17", result)
+    # Paper: ~0.04% degradation; anything under 1% preserves the claim that
+    # LazyC's correction traffic is negligible wear.
+    assert result.metrics["mean_degradation"] < 0.01

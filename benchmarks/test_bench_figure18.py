@@ -1,0 +1,18 @@
+"""Regenerates Figure 18: ECP-chip lifetime degradation."""
+
+from repro.experiments import figure18
+
+
+def test_bench_figure18(benchmark, record_result):
+    result = benchmark.pedantic(figure18.run_experiment, rounds=1, iterations=1)
+    record_result("figure18", result)
+    m = result.metrics["mean_degradation"]
+    # Paper shape: ECP-chip degradation is clearly larger than the data
+    # chips' (Figure 17) yet the ECP chip's ~10x lifetime headroom keeps
+    # the DIMM lifetime data-chip-bound.  Our synthetic traces are far
+    # shorter than the paper's 10M references, so ECP entries are still in
+    # their novelty phase and the absolute degradation overshoots the
+    # paper's 8% (see EXPERIMENTS.md); the conclusion-level property is
+    # what must hold.
+    assert m > 0.02                      # "more significant" than data chips
+    assert 10.0 * (1.0 - m) > 1.0        # DIMM lifetime still data-chip-bound

@@ -1,0 +1,14 @@
+"""Regenerates Figure 19: write cancellation x LazyCorrection."""
+
+from repro.experiments import figure19
+
+
+def test_bench_figure19(benchmark, record_result):
+    result = benchmark.pedantic(figure19.run_experiment, rounds=1, iterations=1)
+    record_result("figure19", result)
+    m = result.metrics
+    # Paper shape: VnC < WC, VnC < LazyC < WC+LazyC.
+    assert m["VnC"] == 1.0
+    assert m["WC"] > 0.98
+    assert m["LazyC"] > 1.05
+    assert m["WC+LazyC"] > m["LazyC"] * 0.98

@@ -1,0 +1,12 @@
+"""Regenerates Figure 4: WD errors per line write."""
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, record_result):
+    result = benchmark.pedantic(figure4.run_experiment, rounds=1, iterations=1)
+    record_result("figure4", result)
+    # Paper shapes: ~0.4 word-line avg, ~2 adjacent avg, max near 9.
+    assert 0.15 < result.metrics["mean_wordline_errors"] < 0.8
+    assert 1.0 < result.metrics["mean_adjacent_errors"] < 3.5
+    assert result.metrics["max_adjacent_errors"] >= 5

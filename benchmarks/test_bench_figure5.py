@@ -1,0 +1,14 @@
+"""Regenerates Figure 5: basic-VnC overhead decomposition."""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, record_result):
+    result = benchmark.pedantic(figure5.run_experiment, rounds=1, iterations=1)
+    record_result("figure5", result)
+    # Paper shape: both components positive, correction >= verification-ish,
+    # total = verification + correction (stacked).
+    assert result.metrics["verification_overhead"] > 0.0
+    assert result.metrics["correction_overhead"] > 0.0
+    total = result.metrics["total_overhead"]
+    assert total > result.metrics["verification_overhead"]

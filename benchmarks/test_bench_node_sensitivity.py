@@ -1,0 +1,18 @@
+"""Regenerates the node-sensitivity extension study."""
+
+from repro.experiments import node_sensitivity
+
+
+def test_bench_node_sensitivity(benchmark, record_result):
+    result = benchmark.pedantic(
+        node_sensitivity.run_experiment, rounds=1, iterations=1
+    )
+    record_result("node_sensitivity", result)
+    m = result.metrics
+    # Disturbance probability rises as the node shrinks...
+    assert m["p_bl_16"] > m["p_bl_20"] > m["p_bl_30"]
+    # ...and 20 nm reproduces Table 1 exactly.
+    assert abs(m["p_bl_20"] - 0.115) < 1e-6
+    # LazyC keeps a solid margin over baseline at every node.
+    for node in (30, 20, 16):
+        assert m[f"lazyc_{node}"] > 1.05

@@ -1,0 +1,9 @@
+"""Regenerates the Section 6.2 hardware-overhead analysis."""
+
+from repro.experiments import overhead
+
+
+def test_bench_overhead(benchmark, record_result):
+    result = benchmark.pedantic(overhead.run_experiment, rounds=1, iterations=1)
+    record_result("overhead", result)
+    assert abs(result.metrics["preread_bytes"] - 4096) <= 16

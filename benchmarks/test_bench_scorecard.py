@@ -1,0 +1,9 @@
+"""Regenerates the reproduction scorecard (paper claims vs measured)."""
+
+from repro.experiments import scorecard
+
+
+def test_bench_scorecard(benchmark, record_result):
+    result = benchmark.pedantic(scorecard.run_experiment, rounds=1, iterations=1)
+    record_result("scorecard", result)
+    assert result.metrics["passed"] == result.metrics["checks"]

@@ -1,0 +1,10 @@
+"""Regenerates Table 1 (disturbance temperatures and error rates)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, record_result):
+    result = benchmark.pedantic(table1.run_experiment, rounds=1, iterations=1)
+    record_result("table1", result)
+    assert abs(result.metrics["word-line_rate"] - 0.099) < 1e-6
+    assert abs(result.metrics["bit-line_rate"] - 0.115) < 1e-6

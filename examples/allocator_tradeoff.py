@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Pick an (n:m) allocator under a performance-loss budget.
+
+The paper's conclusion sketches exactly this workflow: "given a 5%
+performance degradation constraint, we may meet it by either adopting the
+first two schemes or adopting (n:m)-Alloc with proper n and m."  This
+example sweeps the allocators for a high-priority workload and reports,
+per ratio, the speedup and the capacity sacrificed — then picks the
+densest allocator that meets the budget.
+
+Run:  python examples/allocator_tradeoff.py [workload] [budget-%]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SystemConfig, homogeneous_workload, simulate
+from repro.alloc.strips import usable_fraction
+from repro.core import schemes
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "zeusmp"
+    budget = float(sys.argv[2]) / 100.0 if len(sys.argv) > 2 else 0.05
+    length = 800
+
+    workload = homogeneous_workload(bench, cores=8, length=length, seed=1)
+    din = simulate(SystemConfig(seed=1).with_scheme(schemes.din()), workload)
+
+    candidates = {
+        (1, 1): schemes.lazyc_preread(),          # keep all capacity
+        (7, 8): schemes.nm_alloc(7, 8, with_lazyc=True, with_preread=True),
+        (3, 4): schemes.nm_alloc(3, 4, with_lazyc=True, with_preread=True),
+        (2, 3): schemes.nm_alloc(2, 3, with_lazyc=True, with_preread=True),
+        (1, 2): schemes.nm_alloc(1, 2),
+    }
+
+    rows = []
+    meeting = []
+    for (n, m), scheme in candidates.items():
+        res = simulate(SystemConfig(seed=1).with_scheme(scheme), workload)
+        degradation = res.cpi / din.cpi - 1.0
+        capacity = usable_fraction(n, m) if n != m else 1.0
+        rows.append([f"({n}:{m})", capacity, degradation * 100.0])
+        if degradation <= budget:
+            meeting.append(((n, m), capacity))
+
+    print(
+        format_table(
+            f"{bench}: capacity vs degradation-from-DIN per allocator "
+            f"(budget {budget:.0%})",
+            ["allocator (+LazyC+PreRead)", "usable capacity", "degradation %"],
+            rows,
+        )
+    )
+    if meeting:
+        best = max(meeting, key=lambda x: x[1])
+        (n, m), capacity = best
+        print(
+            f"\nDensest allocator within the {budget:.0%} budget: "
+            f"({n}:{m}) at {capacity:.0%} usable capacity."
+        )
+    else:
+        print(f"\nNo allocator meets the {budget:.0%} budget for {bench}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Device study: write disturbance across technology nodes and layouts.
+
+Uses the calibrated thermal + Arrhenius models (no timing simulation, runs
+instantly) to answer the questions Section 2/3 of the paper motivates:
+
+* when did WD appear, and how bad is it at 20 nm? (Table 1)
+* what inter-cell spacing would make a node WD-free, and what does that
+  spacing cost in cell area? (Figure 1)
+* what do the three layouts deliver in capacity for equal silicon? (§6.1)
+
+Run:  python examples/device_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.pcm.geometry import (
+    DIN_ENHANCED,
+    PROTOTYPE,
+    SUPER_DENSE,
+    capacity_for_equal_array_area,
+)
+from repro.pcm.scaling import ScalingModel, minimum_safe_pitch
+from repro.pcm.thermal import Medium
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    model = ScalingModel()
+
+    rows = []
+    for node in (90, 72, 54, 40, 30, 20, 16):
+        p = model.profile(float(node))
+        rows.append(
+            [
+                f"{node} nm",
+                p.wordline_temp_c,
+                p.bitline_temp_c,
+                p.wordline_error_rate,
+                p.bitline_error_rate,
+                "yes" if p.wd_prone else "no",
+            ]
+        )
+    print(
+        format_table(
+            "Minimal-pitch (2F) disturbance across nodes",
+            ["node", "WL temp C", "BL temp C", "WL rate", "BL rate", "WD?"],
+            rows,
+        )
+    )
+    print(f"\nWD onset node (model): {model.wd_onset_node():.1f} nm "
+          "(paper: first reported at 54 nm [15])")
+
+    safe_gst = minimum_safe_pitch(Medium.GST)
+    safe_oxide = minimum_safe_pitch(Medium.OXIDE)
+    print(
+        f"WD-free pitch at 20 nm: {safe_gst:.1f}F along bit-lines, "
+        f"{safe_oxide:.1f}F along word-lines"
+        f" (prototype chip conservatively uses 4F / 3F)"
+    )
+
+    rows = []
+    for geom in (SUPER_DENSE, DIN_ENHANCED, PROTOTYPE):
+        rows.append(
+            [
+                geom.name,
+                geom.cell_area_f2,
+                f"{SUPER_DENSE.density_vs(geom):.2f}x denser than this",
+            ]
+        )
+    print()
+    print(format_table("Figure 1 layouts", ["layout", "F^2/cell", "vs super dense"], rows))
+
+    cap = capacity_for_equal_array_area()
+    print(
+        f"\nEqual cell-array silicon: SD-PCM {cap['sd_pcm_gb']:.2f} GB vs "
+        f"DIN {cap['din_gb']:.2f} GB -> {cap['capacity_gain']:.0%} capacity gain"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""OS allocation substrate: buddy system, (n:m)-Alloc, page table, DMA."""
+
+from .buddy import BuddyAllocator
+from .dma import DMAController, DMARegion
+from .nm_alloc import BLOCK_ORDER, NMAllocManager
+from .page_table import MAX_ALLOCATORS, TAG_BITS, PageTable, PageTableEntry, TLB
+from .startgap import StartGap, simulate_levelling
+from .strips import (
+    PAGES_PER_BLOCK,
+    STRIPS_PER_BLOCK,
+    adjacent_usage,
+    is_no_use,
+    no_use_positions,
+    usable_fraction,
+)
+
+__all__ = [
+    "BuddyAllocator",
+    "DMAController",
+    "DMARegion",
+    "NMAllocManager",
+    "BLOCK_ORDER",
+    "StartGap",
+    "simulate_levelling",
+    "PageTable",
+    "PageTableEntry",
+    "TLB",
+    "TAG_BITS",
+    "MAX_ALLOCATORS",
+    "adjacent_usage",
+    "is_no_use",
+    "no_use_positions",
+    "usable_fraction",
+    "PAGES_PER_BLOCK",
+    "STRIPS_PER_BLOCK",
+]

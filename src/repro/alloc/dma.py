@@ -1,0 +1,76 @@
+"""WD-aware DMA support (Section 4.4, "DMA support").
+
+DMA works on physical addresses and needs physically consecutive frames.
+The allocator tag is communicated to the DMA controller; for simplicity the
+paper restricts DMA regions to (1:1) or (1:2) allocations:
+
+* (1:1): the controller behaves as a baseline DMA engine,
+* (1:2): the controller skips every other strip automatically, so a
+  logically contiguous buffer maps to the used strips only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import PAGES_PER_STRIP
+from ..errors import AllocationError
+from .strips import is_no_use
+
+#: Ratios the DMA engine supports (Section 4.4).
+SUPPORTED_RATIOS: Tuple[Tuple[int, int], ...] = ((1, 1), (1, 2))
+
+
+@dataclass(frozen=True)
+class DMARegion:
+    """A DMA-able buffer: base frame, logical page count, allocator tag."""
+
+    base_frame: int
+    pages: int
+    nm_tag: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.nm_tag not in SUPPORTED_RATIOS:
+            raise AllocationError(
+                f"DMA supports only {SUPPORTED_RATIOS}, got {self.nm_tag}"
+            )
+        if self.pages <= 0:
+            raise AllocationError("DMA region must cover at least one page")
+        if self.base_frame < 0:
+            raise AllocationError("negative base frame")
+        n, m = self.nm_tag
+        if n != m and is_no_use(self.base_frame // PAGES_PER_STRIP, n, m):
+            raise AllocationError("DMA region starts in a no-use strip")
+
+
+class DMAController:
+    """Walks the physical frames of a DMA region, skipping no-use strips."""
+
+    def frames(self, region: DMARegion) -> List[int]:
+        """Physical frames backing the region's logical pages, in order."""
+        n, m = region.nm_tag
+        out: List[int] = []
+        frame = region.base_frame
+        while len(out) < region.pages:
+            strip = frame // PAGES_PER_STRIP
+            if n != m and is_no_use(strip, n, m):
+                # Skip the whole no-use strip (Section 4.4: "skips every
+                # other strip automatically" for (1:2)).
+                frame = (strip + 1) * PAGES_PER_STRIP
+                continue
+            out.append(frame)
+            frame += 1
+        return out
+
+    def transfer(self, region: DMARegion) -> Tuple[int, int]:
+        """Simulate a transfer; returns (frames_touched, strips_skipped)."""
+        frames = self.frames(region)
+        strips = {f // PAGES_PER_STRIP for f in frames}
+        lo, hi = min(strips), max(strips)
+        skipped = sum(
+            1
+            for s in range(lo, hi + 1)
+            if region.nm_tag != (1, 1) and is_no_use(s, *region.nm_tag)
+        )
+        return len(frames), skipped

@@ -1,0 +1,191 @@
+"""Command-line interface for the SD-PCM reproduction.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro list-workloads
+    python -m repro list-schemes
+    python -m repro simulate mcf --scheme LazyC+PreRead --length 2000
+    python -m repro compare mcf --length 1000
+    python -m repro experiment figure11 table1 ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import SystemConfig
+from .core import schemes
+from .core.system import simulate
+from .stats.report import format_bars, format_table
+from .traces.profiles import PROFILES, WORKLOAD_ORDER
+from .traces.workload import homogeneous_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SD-PCM (ASPLOS 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="show Table 3 workload profiles")
+    sub.add_parser("list-schemes", help="show the named schemes")
+
+    sim = sub.add_parser("simulate", help="run one workload under one scheme")
+    sim.add_argument("workload", choices=WORKLOAD_ORDER)
+    sim.add_argument("--scheme", default="baseline")
+    sim.add_argument("--length", type=int, default=1000)
+    sim.add_argument("--cores", type=int, default=8)
+    sim.add_argument("--seed", type=int, default=1)
+
+    cmp_p = sub.add_parser("compare", help="run the Figure 11 line-up on one workload")
+    cmp_p.add_argument("workload", choices=WORKLOAD_ORDER)
+    cmp_p.add_argument("--length", type=int, default=1000)
+    cmp_p.add_argument("--cores", type=int, default=8)
+    cmp_p.add_argument("--seed", type=int, default=1)
+
+    exp = sub.add_parser("experiment", help="run paper experiments by name")
+    exp.add_argument("names", nargs="+")
+
+    gen = sub.add_parser("gen-trace", help="generate and save a workload trace")
+    gen.add_argument("workload", choices=WORKLOAD_ORDER)
+    gen.add_argument("path", help="output file (.npz binary or .trace text)")
+    gen.add_argument("--length", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=1)
+
+    ana = sub.add_parser("analyze", help="characterise a saved trace")
+    ana.add_argument("path", help="trace file (.npz or text)")
+    return parser
+
+
+def _cmd_list_workloads() -> int:
+    rows = [
+        [p.name, p.suite, p.rpki, p.wpki, p.working_set_pages, p.flip_fraction]
+        for p in (PROFILES[n] for n in WORKLOAD_ORDER)
+    ]
+    print(
+        format_table(
+            "Table 3 workloads",
+            ["name", "suite", "RPKI", "WPKI", "pages", "flip fraction"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_list_schemes() -> int:
+    names = sorted(
+        set(schemes.FIGURE11_SCHEMES)
+        | {"PreRead", "VnC", "WC", "WC+LazyC", "WP", "WP+LazyC", "LazyC-denseECP"}
+    )
+    for name in names:
+        print(name)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scheme = schemes.by_name(args.scheme)
+    workload = homogeneous_workload(
+        args.workload, cores=args.cores, length=args.length, seed=args.seed
+    )
+    config = SystemConfig(cores=args.cores, seed=args.seed).with_scheme(scheme)
+    result = simulate(config, workload)
+    c = result.counters
+    rows = [
+        ["CPI", result.cpi],
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["corrections/write", c.corrections_per_write],
+        ["WD errors/adjacent line", c.avg_errors_per_adjacent_line],
+        ["word-line errors/write", c.avg_errors_wordline],
+        ["ECP absorbed errors", c.ecp_absorbed_errors],
+        ["writes cancelled", c.writes_cancelled],
+        ["writes paused", c.writes_paused],
+        ["data-chip lifetime", c.data_chip_lifetime],
+        ["ECP-chip lifetime", c.ecp_chip_lifetime],
+    ]
+    print(format_table(f"{args.workload} under {args.scheme}", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = homogeneous_workload(
+        args.workload, cores=args.cores, length=args.length, seed=args.seed
+    )
+    results = {}
+    for name in schemes.FIGURE11_SCHEMES:
+        config = SystemConfig(cores=args.cores, seed=args.seed).with_scheme(
+            schemes.by_name(name)
+        )
+        results[name] = simulate(config, workload)
+    base = results["baseline"]
+    rows = [
+        [name, res.cpi, res.speedup_over(base)] for name, res in results.items()
+    ]
+    print(
+        format_table(
+            f"{args.workload}: Figure 11 line-up",
+            ["scheme", "CPI", "speedup vs baseline"],
+            rows,
+        )
+    )
+    print()
+    print(
+        format_bars(
+            "speedup vs baseline",
+            [(name, res.speedup_over(base)) for name, res in results.items()],
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(names: List[str]) -> int:
+    from .experiments import runner
+
+    return runner.main(names)
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    from .traces import file_io
+    from .traces.synthetic import generate_trace
+
+    records = generate_trace(args.workload, args.length, seed=args.seed)
+    file_io.save(records, args.path)
+    print(f"wrote {len(records)} records to {args.path}")
+    return 0
+
+
+def _cmd_analyze(path: str) -> int:
+    from .traces import file_io
+    from .traces.analysis import analyse
+
+    records = file_io.load(path)
+    profile = analyse(records)
+    print(format_table(f"trace profile: {path}", ["metric", "value"],
+                       profile.summary_rows()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        return _cmd_list_workloads()
+    if args.command == "list-schemes":
+        return _cmd_list_schemes()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.names)
+    if args.command == "gen-trace":
+        return _cmd_gen_trace(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args.path)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

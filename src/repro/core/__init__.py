@@ -1,0 +1,18 @@
+"""SD-PCM core: schemes, write-path execution, engine, system facade."""
+
+from . import schemes
+from .engine import Engine, EventLoop
+from .results import SimulationResult, geometric_mean
+from .system import SDPCMSystem, simulate
+from .vnc import VnCExecutor
+
+__all__ = [
+    "schemes",
+    "Engine",
+    "EventLoop",
+    "SimulationResult",
+    "geometric_mean",
+    "SDPCMSystem",
+    "simulate",
+    "VnCExecutor",
+]

@@ -1,0 +1,174 @@
+"""Event-driven timing engine: in-order cores driving the PCM controller.
+
+Models the paper's CPU side (Table 2): 8 single-issue in-order cores at
+4 GHz.  Between two trace records a core retires ``gap`` non-memory
+instructions at CPI = 1; a read stalls the core until the controller
+returns data; a write deposits into the per-bank write queue and stalls
+only when that queue is full.
+
+The engine owns the event loop; the memory controller schedules its
+completions on it.  Determinism: events at equal times fire in scheduling
+order (a monotonically increasing sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..alloc.page_table import PageTable
+from ..config import LINES_PER_PAGE, SystemConfig
+from ..errors import SimulationError
+from ..mem.address import AddressMapper
+from ..mem.controller import MemoryController
+from ..mem.request import Request, RequestKind
+from ..traces.record import TraceRecord
+from ..traces.workload import Workload
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+        self.now = 0
+
+    def schedule(self, time: int, fn: Callable[[int], None]) -> None:
+        if time < self.now:
+            time = self.now
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    def run(self) -> None:
+        while self._heap:
+            time, _, fn = heapq.heappop(self._heap)
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            fn(time)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+@dataclass
+class CoreState:
+    """Progress of one in-order core through its trace."""
+
+    index: int
+    trace: List[TraceRecord]
+    page_table: PageTable
+    position: int = 0
+    instructions: int = 0
+    finish_time: Optional[int] = None
+    read_stall_cycles: int = 0
+    wq_stall_cycles: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def cpi(self) -> float:
+        if self.finish_time is None:
+            raise SimulationError(f"core {self.index} has not finished")
+        if self.instructions == 0:
+            return 0.0  # empty trace: finished instantly
+        return self.finish_time / self.instructions
+
+
+class Engine:
+    """Replays one workload against a configured memory system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: Workload,
+        controller: MemoryController,
+        mapper: AddressMapper,
+        page_tables: List[PageTable],
+        loop: EventLoop,
+    ):
+        if workload.cores != len(page_tables):
+            raise SimulationError("one page table per core required")
+        self.config = config
+        self.workload = workload
+        self.controller = controller
+        self.mapper = mapper
+        self.loop = loop
+        self.cores = [
+            CoreState(index=i, trace=workload.traces[i], page_table=page_tables[i])
+            for i in range(workload.cores)
+        ]
+        self._req_seq = 0
+
+    # -- core state machine ------------------------------------------------------
+
+    def _advance(self, core: CoreState, now: int) -> None:
+        """Consume the next trace record (or finish)."""
+        if core.position >= len(core.trace):
+            core.finish_time = now
+            return
+        record = core.trace[core.position]
+        core.position += 1
+        core.instructions += record.gap + 1
+        issue_at = now + int(record.gap * self.config.timing.base_cpi)
+        self.loop.schedule(issue_at, lambda t: self._issue(core, record, t))
+
+    def _issue(self, core: CoreState, record: TraceRecord, now: int) -> None:
+        entry = core.page_table.translate(record.page)
+        line_in_page = (record.address >> 6) % LINES_PER_PAGE
+        addr = self.mapper.line_address(entry.frame, line_in_page)
+        self._req_seq += 1
+        request = Request(
+            kind=RequestKind.WRITE if record.is_write else RequestKind.READ,
+            core=core.index,
+            addr=addr,
+            issue_time=now,
+            nm_tag=entry.nm_tag,
+            seq=self._req_seq,
+        )
+        if record.is_write:
+            if self.controller.try_enqueue_write(request):
+                self.loop.schedule(now + 1, lambda t: self._advance(core, t))
+            else:
+                stall_from = now
+                def retry(t: int) -> None:
+                    core.wq_stall_cycles += t - stall_from
+                    self._issue(core, record, t)
+                self.controller.wait_for_space(addr.bank, retry)
+        else:
+            def done(t: int) -> None:
+                core.read_stall_cycles += t - now
+                self._advance(core, t)
+            self.controller.enqueue_read(request, done)
+
+    # -- top level ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Replay every core's trace to completion, then flush the queues."""
+        for core in self.cores:
+            self.loop.schedule(0, lambda t, c=core: self._advance(c, t))
+        self.loop.run()
+        unfinished = [c.index for c in self.cores if not c.done]
+        if unfinished:
+            raise SimulationError(f"cores {unfinished} deadlocked")
+        # Drain any writes still buffered (their effects belong in the
+        # statistics even though no core waits on them).
+        while self.controller.quiesce():
+            self.loop.run()
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def total_cycles(self) -> int:
+        return max(c.finish_time or 0 for c in self.cores)
+
+    @property
+    def mean_cpi(self) -> float:
+        return sum(c.cpi for c in self.cores) / len(self.cores)

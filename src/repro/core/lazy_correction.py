@@ -1,0 +1,76 @@
+"""LazyCorrection policy analysis (Section 4.2).
+
+The mechanism itself runs inside :class:`~repro.core.vnc.VnCExecutor`
+(absorb-or-correct on the write path); this module exposes the policy's
+decision function and its analytical behaviour for tests, examples, and
+the ECP-sensitivity experiments.
+
+The policy, per adjacent line with X occupied ECP entries and Y newly
+detected WD errors (ECP-N):
+
+* ``X + Y <= N``  ->  buffer the Y errors in spare entries (no correction),
+* otherwise       ->  one correction write clears *all* WD errors; hard
+  errors keep their entries; the cascade rules of basic VnC apply.
+
+A demand write to the line clears its accumulated WD entries for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LazyDecision:
+    """Outcome of offering Y new errors to a line with X occupied entries."""
+
+    absorb: bool
+    entries_after: int
+
+
+def decide(occupied: int, new_errors: int, capacity: int) -> LazyDecision:
+    """Section 4.2's skip test: correction is skipped iff X + Y <= N."""
+    if occupied < 0 or new_errors < 0 or capacity < 0:
+        raise ConfigError("ECP occupancy/capacity must be non-negative")
+    if occupied + new_errors <= capacity:
+        return LazyDecision(absorb=True, entries_after=occupied + new_errors)
+    return LazyDecision(absorb=False, entries_after=0)
+
+
+def expected_corrections_per_write(
+    errors_per_line: float,
+    capacity: int,
+    rewrite_interval: float,
+    hard_errors: int = 0,
+) -> float:
+    """Analytic estimate of Figure 12's corrections-per-write curve.
+
+    A victim line accumulates ~``errors_per_line`` Poisson errors per
+    sandwiching write and is cleared every ``rewrite_interval`` such writes
+    (by a demand rewrite or a drain).  Correction triggers when occupancy
+    exceeds ``capacity - hard_errors``.  The estimate treats each interval
+    independently: the probability that the accumulated Poisson total
+    exceeds the spare capacity, normalised per write.
+
+    This is deliberately a coarse model — the simulator measures the real
+    curve — but it reproduces the qualitative Figure 12 shape: ~2 x P(any
+    error) at ECP-0 falling steeply to ~0 by ECP-6.
+    """
+    if rewrite_interval <= 0:
+        raise ConfigError("rewrite_interval must be positive")
+    spare = max(0, capacity - hard_errors)
+    lam = errors_per_line * rewrite_interval
+    # P(Poisson(lam) > spare)
+    cdf = 0.0
+    term = math.exp(-lam)
+    for k in range(spare + 1):
+        cdf += term
+        term = term * lam / (k + 1)
+    overflow_prob = max(0.0, 1.0 - cdf)
+    # Two adjacent lines per write, each checked once per write.
+    return 2.0 * overflow_prob / rewrite_interval if spare else 2.0 * (
+        1.0 - math.exp(-errors_per_line)
+    )

@@ -1,0 +1,145 @@
+"""Named scheme configurations (Section 5.3, "Compared Schemes").
+
+Each factory returns a :class:`~repro.config.SchemeConfig`; the names match
+the labels used in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..config import SchemeConfig
+from ..errors import ConfigError
+
+
+def din() -> SchemeConfig:
+    """DIN-enhanced 8F^2 PCM: WD-free bit-lines, no VnC (the comparison
+    upper bound)."""
+    return SchemeConfig(wd_free_bitlines=True, vnc=False)
+
+
+def baseline() -> SchemeConfig:
+    """Basic verify-and-correct on super dense 4F^2 PCM."""
+    return SchemeConfig(vnc=True)
+
+
+def lazyc(ecp_entries: int = 6) -> SchemeConfig:
+    """LazyCorrection on top of basic VnC (ECP-6 by default)."""
+    return SchemeConfig(vnc=True, lazy_correction=True, ecp_entries=ecp_entries)
+
+
+def preread() -> SchemeConfig:
+    """PreRead on top of basic VnC."""
+    return SchemeConfig(vnc=True, preread=True)
+
+
+def lazyc_preread(ecp_entries: int = 6) -> SchemeConfig:
+    """LazyC + PreRead combined."""
+    return SchemeConfig(
+        vnc=True, lazy_correction=True, ecp_entries=ecp_entries, preread=True
+    )
+
+
+def nm_alloc(n: int, m: int, with_lazyc: bool = False, with_preread: bool = False) -> SchemeConfig:
+    """(n:m)-Alloc on top of basic VnC, optionally with LazyC/PreRead."""
+    return SchemeConfig(
+        vnc=True,
+        nm_ratio=(n, m),
+        lazy_correction=with_lazyc,
+        preread=with_preread,
+    )
+
+
+def all_combined(ecp_entries: int = 6) -> SchemeConfig:
+    """LazyC + PreRead + (2:3)-Alloc (the paper's best VnC-bearing combo)."""
+    return SchemeConfig(
+        vnc=True,
+        lazy_correction=True,
+        ecp_entries=ecp_entries,
+        preread=True,
+        nm_ratio=(2, 3),
+    )
+
+
+def write_cancellation() -> SchemeConfig:
+    """Basic VnC with write cancellation [22] (Figure 19's WC)."""
+    return SchemeConfig(vnc=True, write_cancellation=True)
+
+
+def wc_lazyc(ecp_entries: int = 6) -> SchemeConfig:
+    """Write cancellation + LazyCorrection (Figure 19's WC+LazyC)."""
+    return SchemeConfig(
+        vnc=True,
+        lazy_correction=True,
+        ecp_entries=ecp_entries,
+        write_cancellation=True,
+    )
+
+
+def eager() -> SchemeConfig:
+    """Basic VnC with eager write scheduling but no pre-emption; isolates
+    the scheduling component of WC/WP's gains."""
+    return SchemeConfig(vnc=True, eager_writes=True)
+
+
+def write_pausing() -> SchemeConfig:
+    """Basic VnC with write pausing [22] (extension study)."""
+    return SchemeConfig(vnc=True, write_pausing=True)
+
+
+def wp_lazyc(ecp_entries: int = 6) -> SchemeConfig:
+    """Write pausing + LazyCorrection (extension study)."""
+    return SchemeConfig(
+        vnc=True,
+        lazy_correction=True,
+        ecp_entries=ecp_entries,
+        write_pausing=True,
+    )
+
+
+def lazyc_dense_ecp(ecp_entries: int = 6) -> SchemeConfig:
+    """Ablation: LazyCorrection over a naive super dense ECP chip whose
+    entry writes need their own VnC (Section 4.2's rejected design)."""
+    return SchemeConfig(
+        vnc=True,
+        lazy_correction=True,
+        ecp_entries=ecp_entries,
+        low_density_ecp=False,
+    )
+
+
+#: The Figure 11 scheme line-up, in plot order.
+FIGURE11_SCHEMES: Dict[str, Callable[[], SchemeConfig]] = {
+    "DIN": din,
+    "baseline": baseline,
+    "LazyC": lazyc,
+    "LazyC+PreRead": lazyc_preread,
+    "LazyC+(2:3)": lambda: nm_alloc(2, 3, with_lazyc=True),
+    "LazyC+PreRead+(2:3)": all_combined,
+    "(1:2)": lambda: nm_alloc(1, 2),
+}
+
+
+def by_name(name: str) -> SchemeConfig:
+    """Look up any named scheme used in the experiments."""
+    registry: Dict[str, Callable[[], SchemeConfig]] = {
+        **FIGURE11_SCHEMES,
+        "PreRead": preread,
+        "VnC": baseline,
+        "WC": write_cancellation,
+        "WC+LazyC": wc_lazyc,
+        "WP": write_pausing,
+        "WP+LazyC": wp_lazyc,
+        "eager": eager,
+        "LazyC-denseECP": lazyc_dense_ecp,
+    }
+    factory = registry.get(name)
+    if factory is None:
+        raise ConfigError(f"unknown scheme {name!r}; known: {sorted(registry)}")
+    return factory()
+
+
+def nm_ratio_schemes() -> Dict[str, SchemeConfig]:
+    """The Figure 16 ratio sweep (on top of basic VnC)."""
+    ratios: Tuple[Tuple[int, int], ...] = ((1, 2), (2, 3), (3, 4), (7, 8))
+    return {f"({n}:{m})": nm_alloc(n, m) for n, m in ratios}

@@ -1,0 +1,57 @@
+"""Write cancellation [22] integration notes and policy (Section 6.8).
+
+The scheduling mechanism lives in the controller: with
+``SchemeConfig.write_cancellation`` the controller issues writes eagerly on
+idle banks and lets a demand read cancel an in-flight write whose remaining
+work exceeds ``wc_threshold`` of its latency (a nearly-done write is allowed
+to finish, as in the original proposal).  Cancelled prereads are free;
+cancelled writes re-enter the queue head and replay later.
+
+The paper's observation — "repeated write operations tend to introduce more
+WD errors on adjacent lines" — emerges naturally here: the pulses a
+cancelled write already fired keep their sampled disturbance (applied by
+``VnCExecutor._cancel`` in proportion to the op's progress), and the retry
+injects again, so cancelled writes disturb more in total than uninterrupted
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CancellationPolicy:
+    """The [22] cancellation rule, exposed for tests and examples."""
+
+    threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigError("threshold must be in [0, 1]")
+
+    def may_cancel(self, elapsed: int, latency: int) -> bool:
+        """A write may be cancelled while its remaining work exceeds
+        ``threshold`` of its total latency."""
+        if latency <= 0:
+            return False
+        remaining = max(0, latency - elapsed)
+        return remaining > self.threshold * latency
+
+    def wasted_cycles(self, elapsed: int, latency: int) -> int:
+        """Bank cycles burnt by a cancellation at ``elapsed``."""
+        return min(elapsed, latency)
+
+
+def expected_extra_errors(base_errors: float, cancellations: float, mean_progress: float = 0.5) -> float:
+    """Expected WD errors per write including cancelled partial attempts.
+
+    Each cancelled attempt re-samples disturbance over the fraction of
+    cells it pulsed; with ``c`` expected cancellations per write at mean
+    progress ``p`` the total scales by ``1 + c*p``.
+    """
+    if base_errors < 0 or cancellations < 0 or not 0 <= mean_progress <= 1:
+        raise ConfigError("invalid parameters")
+    return base_errors * (1.0 + cancellations * mean_progress)

@@ -1,0 +1,93 @@
+"""The low-density ECP chip (Section 4.2, Figure 7).
+
+LazyCorrection must write WD pointers into the ECP region on the write path;
+if the ECP chip itself were super dense those writes would suffer WD and
+re-introduce cascading verification.  SD-PCM therefore keeps the ECP chip at
+8F^2 (4F bit-line pitch), which is WD-free along bit-lines; its cell array
+is twice the area of a data chip's for the same bit count.
+
+This module tracks the chip-level properties the experiments need: WD
+freedom, the array-area premium, per-row wear (for the Figure 18 lifetime
+study), and lazy ECP-line allocation for every data line it protects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import DeviceError
+from ..pcm.geometry import DIN_ENHANCED, SUPER_DENSE
+from .entry import ENTRY_BITS
+from .line_ecp import ECPLine
+
+LineKey = Tuple[int, int, int]  # (bank, row, line)
+
+
+@dataclass(frozen=True)
+class ECPChipGeometry:
+    """Geometry facts of the low-density ECP chip."""
+
+    #: The ECP chip uses the DIN-enhanced (8F^2) layout: WD-free bit-lines.
+    cell_area_f2: float = DIN_ENHANCED.cell_area_f2
+
+    @property
+    def wd_free(self) -> bool:
+        """Bit-line WD cannot occur at 4F bit-line pitch."""
+        return True
+
+    @property
+    def area_premium_vs_data_chip(self) -> float:
+        """Array-area multiplier vs a super dense data chip (2.0x)."""
+        return self.cell_area_f2 / SUPER_DENSE.cell_area_f2
+
+
+class ECPChip:
+    """Lazy per-line ECP store with wear accounting.
+
+    ``entries_per_line`` is the ECP-N level (6 by default).  The chip hands
+    out one :class:`ECPLine` per protected data line on first touch and
+    accumulates the cell-write counts LazyCorrection causes (each buffered
+    WD error programs a 10-bit entry, Section 6.7).
+    """
+
+    def __init__(self, entries_per_line: int = 6):
+        if entries_per_line < 0:
+            raise DeviceError("entries_per_line must be >= 0")
+        self.entries_per_line = entries_per_line
+        self.geometry = ECPChipGeometry()
+        self._lines: Dict[LineKey, ECPLine] = {}
+        #: Total cell writes performed on the ECP chip by entry programming.
+        self.entry_cell_writes = 0
+        #: Cell writes the ECP region would see anyway from demand writes
+        #: (rewriting a line rewrites its ECP metadata region); tracked by
+        #: the engine for the Figure 18 baseline.
+        self.background_cell_writes = 0
+
+    def line(self, key: LineKey) -> ECPLine:
+        """The ECP state of one protected data line (materialised lazily)."""
+        state = self._lines.get(key)
+        if state is None:
+            state = ECPLine(self.entries_per_line)
+            self._lines[key] = state
+        return state
+
+    def peek(self, key: LineKey) -> ECPLine | None:
+        """The ECP state if it was ever touched, else ``None``."""
+        return self._lines.get(key)
+
+    @property
+    def touched_lines(self) -> int:
+        return len(self._lines)
+
+    def charge_entry_writes(self, entries: int) -> None:
+        """Account cell wear for programming ``entries`` WD entries."""
+        if entries < 0:
+            raise DeviceError("entries must be >= 0")
+        self.entry_cell_writes += entries * ENTRY_BITS
+
+    def charge_background_write(self, cell_writes: int) -> None:
+        """Account ordinary (non-LazyC) ECP-region wear."""
+        if cell_writes < 0:
+            raise DeviceError("cell_writes must be >= 0")
+        self.background_cell_writes += cell_writes

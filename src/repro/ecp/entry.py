@@ -1,0 +1,47 @@
+"""ECP correction entries (Schechter et al., "Use ECP, not ECC" [28]).
+
+One entry is a 10-bit record: a 9-bit cell pointer (addressing one of the
+512 cells of a 64-byte line) and a 1-bit replacement value.  On a read the
+entry's value overrides the pointed-to cell.
+
+SD-PCM reuses spare entries to *buffer* write-disturbance errors
+(LazyCorrection, Section 4.2), so each entry is tagged with what it
+protects: a permanent hard error or a clearable WD error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import LINE_BITS
+
+#: Pointer width needed to address a cell within a 64 B line.
+POINTER_BITS = 9
+#: Total bits written to the ECP chip when an entry is (re)programmed:
+#: 9-bit address + 1-bit value (Section 6.7).
+ENTRY_BITS = POINTER_BITS + 1
+
+assert LINE_BITS == 1 << POINTER_BITS
+
+
+class EntryKind(Enum):
+    """What an occupied ECP entry is protecting."""
+
+    HARD = "hard"  # permanent cell failure
+    WD = "wd"      # buffered write-disturbance error (LazyCorrection)
+
+
+@dataclass(frozen=True)
+class ECPEntry:
+    """A single programmed ECP entry."""
+
+    position: int
+    value: int
+    kind: EntryKind
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.position < LINE_BITS:
+            raise ValueError(f"cell pointer {self.position} out of range")
+        if self.value not in (0, 1):
+            raise ValueError(f"replacement value must be 0/1, got {self.value!r}")

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the SD-PCM reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AllocationError(ReproError):
+    """The page allocator could not satisfy a request."""
+
+
+class ECPExhaustedError(ReproError):
+    """An ECP line ran out of correction entries for a hard error.
+
+    Write-disturbance entries never raise this (they overflow gracefully into
+    a correction write); only unrecoverable *hard* errors do.
+    """
+
+
+class DeviceError(ReproError):
+    """An out-of-range device coordinate (bank/row/line/bit) was addressed."""
+
+
+class TraceError(ReproError):
+    """A trace record or trace stream is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state."""

@@ -1,0 +1,104 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Scale: the paper replays 10 M post-cache references per workload on a C++
+simulator; this pure-Python reproduction defaults to
+``REPRO_TRACE_LEN`` (default 1200) references per core and
+``REPRO_CORES`` (default 8) cores.  All reported quantities are
+per-reference rates or CPI ratios, which are stable at this scale; raise
+the env vars for tighter confidence intervals.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from ..config import (
+    MemoryConfig,
+    SchemeConfig,
+    SystemConfig,
+    TimingConfig,
+)
+from ..core.results import SimulationResult, geometric_mean
+from ..core.system import SDPCMSystem
+from ..stats.report import format_table
+from ..traces.profiles import WORKLOAD_ORDER
+from ..traces.workload import Workload, homogeneous_workload
+
+DEFAULT_SEED = 1
+
+
+def trace_length(default: int = 1200) -> int:
+    """Per-core trace length, overridable via ``REPRO_TRACE_LEN``."""
+    return int(os.environ.get("REPRO_TRACE_LEN", default))
+
+
+def core_count(default: int = 8) -> int:
+    """Core count, overridable via ``REPRO_CORES``."""
+    return int(os.environ.get("REPRO_CORES", default))
+
+
+@lru_cache(maxsize=64)
+def workload(name: str, length: int, cores: int, seed: int = DEFAULT_SEED) -> Workload:
+    """Cached workload construction (traces are immutable)."""
+    return homogeneous_workload(name, cores=cores, length=length, seed=seed)
+
+
+def paper_workload_names(subset: Optional[Sequence[str]] = None) -> List[str]:
+    return list(subset) if subset else list(WORKLOAD_ORDER)
+
+
+def run(
+    bench: str,
+    scheme: SchemeConfig,
+    length: Optional[int] = None,
+    cores: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    write_queue_entries: Optional[int] = None,
+    lifetime_fraction: float = 0.0,
+) -> SimulationResult:
+    """Simulate one (workload, scheme) cell with the standard configuration."""
+    length = length or trace_length()
+    cores = cores or core_count()
+    memory = MemoryConfig() if write_queue_entries is None else MemoryConfig(
+        write_queue_entries=write_queue_entries
+    )
+    config = SystemConfig(
+        cores=cores,
+        memory=memory,
+        scheme=scheme,
+        seed=seed,
+    )
+    system = SDPCMSystem(config, lifetime_fraction=lifetime_fraction)
+    return system.run(workload(bench, length, cores, seed))
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result bundle: a titled table plus named headline metrics."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = format_table(self.title, self.headers, self.rows)
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+
+def add_gmean_row(result: ExperimentResult, label: str = "gmean") -> None:
+    """Append a geometric-mean summary row over the numeric columns."""
+    if not result.rows:
+        return
+    cols = len(result.headers)
+    summary: List[object] = [label]
+    for c in range(1, cols):
+        values = [float(r[c]) for r in result.rows if isinstance(r[c], (int, float))]
+        summary.append(geometric_mean(values) if values else "")
+    result.rows.append(summary)

@@ -1,0 +1,51 @@
+"""Figure 12: correction operations per write vs ECP entry count.
+
+LazyCorrection buffers WD errors in spare ECP entries; more entries mean
+fewer overflow-triggered correction writes.  Paper: ECP-0 (= baseline)
+triggers ~1.8 corrections per write, ECP-4 only ~0.14, ECP-6 is sufficient
+for all but mcf (ECP-8 still shows 0.04 for mcf); gemsFDTD flips few bits
+per write and sits much lower throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import schemes
+from .common import ExperimentResult, paper_workload_names, run
+
+ECP_LEVELS = (0, 2, 4, 6, 8, 10)
+
+
+def run_experiment(
+    length: Optional[int] = None,
+    workloads: Optional[Sequence[str]] = None,
+    levels: Sequence[int] = ECP_LEVELS,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        title="Figure 12: corrections per write vs ECP entries (LazyC)",
+        headers=["workload"] + [f"ECP-{n}" for n in levels],
+    )
+    sums = [0.0] * len(levels)
+    names = paper_workload_names(workloads)
+    for bench in names:
+        row: list = [bench]
+        for i, n in enumerate(levels):
+            scheme = schemes.lazyc(ecp_entries=n) if n else schemes.baseline()
+            res = run(bench, scheme, length=length)
+            cpw = res.counters.corrections_per_write
+            row.append(cpw)
+            sums[i] += cpw
+        result.rows.append(row)
+    means: list = ["mean"]
+    for i, n in enumerate(levels):
+        mean = sums[i] / len(names)
+        means.append(mean)
+        result.metrics[f"ecp{n}"] = mean
+    result.rows.append(means)
+    result.notes.append("paper means: ECP-0 ~1.8, ECP-4 ~0.14, ECP-6+ ~0")
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

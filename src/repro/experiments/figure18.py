@@ -1,0 +1,54 @@
+"""Figure 18: normalized lifetime degradation on the ECP chip.
+
+Every buffered WD error programs a 10-bit ECP entry (9-bit pointer +
+value), so LazyCorrection wears the ECP chip faster than the data chips'
+correction traffic wears them.  Paper: ~8 % average degradation — still
+harmless because the ECP chip starts with ~10x the data chips' lifetime
+(Section 6.7), so the DIMM lifetime (set by the data chips) is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import schemes
+from ..stats.lifetime import INTRA_ROW_WL_LOSS, lifetime_report
+from .common import ExperimentResult, paper_workload_names, run
+
+
+def run_experiment(
+    length: Optional[int] = None,
+    workloads: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        title="Figure 18: normalized ECP-chip lifetime (LazyC+PreRead)",
+        headers=["workload", "normalized lifetime", "degradation %"],
+    )
+    degradations = []
+    for bench in paper_workload_names(workloads):
+        res = run(bench, schemes.lazyc_preread(), length=length)
+        report = lifetime_report(bench, res.counters)
+        result.rows.append([bench, report.ecp_chip, report.ecp_degradation * 100.0])
+        degradations.append(report.ecp_degradation)
+    mean = sum(degradations) / len(degradations)
+    result.metrics["mean_degradation"] = mean
+    result.rows.append(["mean", 1.0 - mean, mean * 100.0])
+    effective = 10.0 * (1.0 - mean)
+    result.metrics["effective_headroom_vs_data_chip"] = effective
+    result.notes.append(
+        "paper: ~8% average ECP-chip degradation; ECP chip has ~10x data-chip "
+        f"lifetime headroom; foregone intra-row wear levelling costs up to "
+        f"{INTRA_ROW_WL_LOSS:.1%} [28]"
+    )
+    result.notes.append(
+        "our short synthetic traces keep ECP entries in their novelty phase "
+        "(every buffered position costs a full 10-bit entry write), so the "
+        "absolute degradation overshoots the paper's 8%; the conclusion "
+        f"holds: effective ECP lifetime is still {effective:.1f}x the data "
+        "chips', so the DIMM lifetime remains data-chip-bound"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

@@ -1,0 +1,96 @@
+"""Run every experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments.runner                  # everything
+    python -m repro.experiments.runner figure11         # one experiment
+    python -m repro.experiments.runner --json out figure11   # + JSON export
+    REPRO_TRACE_LEN=4000 python -m repro.experiments.runner
+
+Timing-simulation experiments scale with REPRO_TRACE_LEN; the analytic ones
+(table1, capacity, overhead) are instant.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict
+
+from . import (
+    ablation,
+    capacity,
+    encoders,
+    energy,
+    node_sensitivity,
+    scorecard,
+    figure4,
+    figure5,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    overhead,
+    table1,
+)
+from .common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run_experiment,
+    "capacity": capacity.run_experiment,
+    "overhead": overhead.run_experiment,
+    "figure4": figure4.run_experiment,
+    "figure5": figure5.run_experiment,
+    "figure11": figure11.run_experiment,
+    "figure12": figure12.run_experiment,
+    "figure13": figure13.run_experiment,
+    "figure14": figure14.run_experiment,
+    "figure15": figure15.run_experiment,
+    "figure16": figure16.run_experiment,
+    "figure17": figure17.run_experiment,
+    "figure18": figure18.run_experiment,
+    "figure19": figure19.run_experiment,
+    "ablation-ecp-density": ablation.run_ecp_density_ablation,
+    "ablation-read-priority": ablation.run_read_priority_ablation,
+    "ablation-din": ablation.run_din_ablation,
+    "ablation-weak-cells": ablation.run_weak_cell_ablation,
+    "node-sensitivity": node_sensitivity.run_experiment,
+    "scorecard": scorecard.run_experiment,
+    "encoders": encoders.run_experiment,
+    "energy": energy.run_experiment,
+}
+
+
+def main(argv: list[str]) -> int:
+    json_dir = None
+    if argv and argv[0] == "--json":
+        if len(argv) < 2:
+            print("--json requires a directory")
+            return 2
+        json_dir = argv[1]
+        argv = argv[2:]
+    requested = argv or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+        return 2
+    for name in requested:
+        start = time.time()
+        result = EXPERIMENTS[name]()
+        print(result.render())
+        print(f"  [{name} finished in {time.time() - start:.1f}s]\n")
+        if json_dir is not None:
+            from . import export
+
+            path = export.write_json(result, f"{json_dir}/{name}.json")
+            print(f"  [wrote {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

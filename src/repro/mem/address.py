@@ -1,0 +1,81 @@
+"""Physical-address to device-coordinate mapping (Figure 6).
+
+The OS interleaves consecutive physical page frames across the 16 banks of
+the DIMM [17]: frame ``p`` lives in bank ``p mod 16``, device row
+``p div 16``.  Hence:
+
+* a *strip* is the set of 16 consecutive frames sharing one row index,
+* the physically adjacent frames of frame ``p`` (bit-line neighbours of its
+  row) are frames ``p - 16`` and ``p + 16``,
+* a 64 B line at page offset ``l`` is bit-line-adjacent to the lines at the
+  same offset ``l`` of the neighbouring rows.
+
+(n:m)-Alloc marks strips no-use within 64 MB blocks; the strip maths for
+that live in :mod:`repro.alloc.strips` — this module only maps addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import LINES_PER_PAGE, LINE_BYTES, PAGES_PER_STRIP, PAGE_BYTES
+from ..errors import DeviceError
+from ..pcm.array import LineAddress
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Maps physical frame/line numbers to (bank, row, line) coordinates."""
+
+    banks: int = PAGES_PER_STRIP
+    rows_per_bank: int = (8 << 30) // PAGE_BYTES // PAGES_PER_STRIP
+
+    def __post_init__(self) -> None:
+        if self.banks != PAGES_PER_STRIP:
+            # The strip layout (16 frames per strip, adjacency +/-16 frames)
+            # is baked into the paper's architecture; other bank counts would
+            # change the capacity maths silently.
+            raise DeviceError("the Figure 6 layout requires exactly 16 banks")
+        if self.rows_per_bank <= 0:
+            raise DeviceError("rows_per_bank must be positive")
+
+    @property
+    def total_frames(self) -> int:
+        return self.banks * self.rows_per_bank
+
+    def frame_to_bank_row(self, frame: int) -> tuple[int, int]:
+        """Device (bank, row) of a physical page frame."""
+        if not 0 <= frame < self.total_frames:
+            raise DeviceError(f"frame {frame} out of range")
+        return frame % self.banks, frame // self.banks
+
+    def bank_row_to_frame(self, bank: int, row: int) -> int:
+        if not 0 <= bank < self.banks or not 0 <= row < self.rows_per_bank:
+            raise DeviceError(f"({bank}, {row}) out of range")
+        return row * self.banks + bank
+
+    def strip_of_frame(self, frame: int) -> int:
+        """The strip (= device row) index of a frame."""
+        return frame // self.banks
+
+    def line_address(self, frame: int, line_in_page: int) -> LineAddress:
+        """Device coordinate of one 64 B line of a frame."""
+        if not 0 <= line_in_page < LINES_PER_PAGE:
+            raise DeviceError(f"line {line_in_page} out of range")
+        bank, row = self.frame_to_bank_row(frame)
+        return LineAddress(bank, row, line_in_page)
+
+    def physical_to_line_address(self, physical_byte_addr: int) -> LineAddress:
+        """Device coordinate of the line containing a physical byte address."""
+        frame = physical_byte_addr // PAGE_BYTES
+        line = (physical_byte_addr % PAGE_BYTES) // LINE_BYTES
+        return self.line_address(frame, line)
+
+    def adjacent_frames(self, frame: int) -> list[int]:
+        """The (at most two) bit-line-adjacent frames, 16 apart (Figure 6)."""
+        out = []
+        if frame - self.banks >= 0:
+            out.append(frame - self.banks)
+        if frame + self.banks < self.total_frames:
+            out.append(frame + self.banks)
+        return out

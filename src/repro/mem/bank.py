@@ -1,0 +1,77 @@
+"""Per-bank state: queues, the in-flight operation, and drain mode."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from .request import Request, RequestKind, WriteEntry
+
+
+@dataclass
+class InFlightOp:
+    """The operation currently occupying a bank."""
+
+    kind: RequestKind
+    start: int
+    latency: int
+    #: Cooperative cancellation flag checked when the completion event fires.
+    cancelled: bool = False
+    #: The write-queue entry (WRITE ops) or owning entry (PREREAD ops).
+    entry: Optional[WriteEntry] = None
+    #: Deferred state mutation, executed at completion (WRITE ops).
+    commit: Optional[Callable[[], None]] = None
+    #: Partial-effect application on cancellation (WRITE ops).
+    on_cancel: Optional[Callable[[float], None]] = None
+    #: Slot index being filled (PREREAD ops).
+    slot_index: int = -1
+
+    @property
+    def end(self) -> int:
+        return self.start + self.latency
+
+    def remaining(self, now: int) -> int:
+        return max(0, self.end - now)
+
+    def progress(self, now: int) -> float:
+        if self.latency <= 0:
+            return 1.0
+        return min(1.0, max(0.0, (now - self.start) / self.latency))
+
+
+@dataclass
+class BankState:
+    """One PCM bank: FIFO read queue, bounded write queue, busy op."""
+
+    index: int
+    wq_capacity: int
+    read_q: Deque[Tuple[Request, Callable[[int], None]]] = field(
+        default_factory=deque
+    )
+    write_q: List[WriteEntry] = field(default_factory=list)
+    current: Optional[InFlightOp] = None
+    #: True while the controller is flushing the write queue (bursty write);
+    #: reads to this bank wait until the flush completes.
+    draining: bool = False
+    #: End-of-trace flush: drain to empty instead of the low-water mark.
+    flush_all: bool = False
+    #: Cores blocked because the write queue was full, woken on space.
+    space_waiters: List[Callable[[int], None]] = field(default_factory=list)
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    @property
+    def wq_full(self) -> bool:
+        return len(self.write_q) >= self.wq_capacity
+
+    def find_write(self, line_key: tuple[int, int, int]) -> Optional[WriteEntry]:
+        """Youngest queued write to a given line (for read forwarding and
+        PreRead same-queue forwarding, Section 4.3)."""
+        for entry in reversed(self.write_q):
+            addr = entry.addr
+            if (addr.bank, addr.row, addr.line) == line_key:
+                return entry
+        return None

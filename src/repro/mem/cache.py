@@ -1,0 +1,107 @@
+"""Set-associative write-back cache (the hierarchy substrate of Table 2).
+
+The paper's in-house simulator "models the entire memory hierarchy
+including L1, L2 and DRAM last level cache".  Our timing engine replays
+post-cache traces (like the paper's PIN capture), but the hierarchy itself
+is a real substrate: :mod:`repro.traces.capture` filters raw access streams
+through it to *produce* main-memory traces, and the quickstart example uses
+it to show end-to-end miss behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import LINE_BYTES
+from ..errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters of one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "lru")
+
+    def __init__(self, tag: int, dirty: bool, lru: int):
+        self.tag = tag
+        self.dirty = dirty
+        self.lru = lru
+
+
+class Cache:
+    """One set-associative, write-back, write-allocate, LRU cache level."""
+
+    def __init__(self, name: str, size_bytes: int, ways: int, line_bytes: int = LINE_BYTES):
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ConfigError("cache geometry must be positive")
+        if size_bytes % (ways * line_bytes):
+            raise ConfigError(f"{name}: size not divisible by ways*line")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = size_bytes // (ways * line_bytes)
+        self._sets: Dict[int, List[_Line]] = {}
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def _set_index(self, line_addr: int) -> Tuple[int, int]:
+        return line_addr % self.sets, line_addr // self.sets
+
+    def access(self, address: int, is_write: bool) -> Tuple[bool, Optional[int]]:
+        """Access one byte address.
+
+        Returns ``(hit, writeback_line_addr)``; ``writeback_line_addr`` is
+        the line address of a dirty eviction (or ``None``).  On a miss the
+        line is allocated (write-allocate), and the caller is responsible
+        for fetching it from the next level.
+        """
+        self._tick += 1
+        line_addr = address // self.line_bytes
+        index, tag = self._set_index(line_addr)
+        ways = self._sets.setdefault(index, [])
+        for line in ways:
+            if line.tag == tag:
+                self.stats.hits += 1
+                line.lru = self._tick
+                line.dirty = line.dirty or is_write
+                return True, None
+        self.stats.misses += 1
+        victim_addr: Optional[int] = None
+        if len(ways) >= self.ways:
+            victim = min(ways, key=lambda l: l.lru)
+            ways.remove(victim)
+            if victim.dirty:
+                self.stats.writebacks += 1
+                victim_addr = victim.tag * self.sets + index
+        ways.append(_Line(tag=tag, dirty=is_write, lru=self._tick))
+        return False, victim_addr
+
+    def contains(self, address: int) -> bool:
+        line_addr = address // self.line_bytes
+        index, tag = self._set_index(line_addr)
+        return any(l.tag == tag for l in self._sets.get(index, []))
+
+    def flush_dirty(self) -> List[int]:
+        """Drop everything; returns line addresses of dirty lines."""
+        dirty = []
+        for index, ways in self._sets.items():
+            for line in ways:
+                if line.dirty:
+                    dirty.append(line.tag * self.sets + index)
+        self._sets.clear()
+        return dirty

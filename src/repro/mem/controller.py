@@ -1,0 +1,351 @@
+"""The PCM memory controller (Table 2, Sections 4.3/6.8).
+
+Scheduling policy, per bank:
+
+* Demand reads have priority and are serviced FIFO whenever the bank is
+  free and not draining.
+* Writes are buffered in the per-bank write queue.  In the paper's default
+  policy the queue is flushed when full ("bursty write"), blocking reads to
+  the bank until the flush completes.  With write cancellation [22] the
+  controller instead schedules writes eagerly whenever a bank is idle and
+  lets a demand read cancel an in-flight write that is not nearly done.
+* With PreRead (Section 4.3), idle banks opportunistically perform the
+  pre-write reads of queued writes' adjacent lines, at lower priority than
+  demand reads.
+
+Reads that hit a queued write are forwarded from the write queue without an
+array access.  The actual contents of a write operation (differential
+write + VnC + LazyCorrection) are delegated to a :class:`WriteExecutor`
+implementation — see :mod:`repro.core.vnc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol
+
+from ..config import MemoryConfig, SchemeConfig, TimingConfig
+from ..errors import SimulationError
+from ..stats.counters import Counters
+from .bank import BankState, InFlightOp
+from .request import PausedWrite, PrereadSlot, Request, RequestKind, WriteEntry
+
+#: Cycles to forward read data straight out of the write queue.
+FORWARD_READ_CYCLES = 4
+
+#: Maximum times one write may be paused before it runs to completion —
+#: guards against read-stream starvation of writes (the original proposal
+#: bounds pre-emptions the same way [22]).
+MAX_PAUSES_PER_WRITE = 4
+
+
+class Scheduler(Protocol):
+    """The event loop interface the controller schedules completions on."""
+
+    @property
+    def now(self) -> int: ...
+
+    def schedule(self, time: int, fn: Callable[[int], None]) -> None: ...
+
+
+@dataclass
+class WriteOp:
+    """A fully planned composite write operation.
+
+    ``latency`` covers the pre-write reads (unless PreRead already did
+    them), the differential write, verification reads, and any correction
+    writes including cascades.  ``commit`` applies all state mutations at
+    completion; ``cancel`` applies the partial effects of an interrupted
+    write (the cells already pulsed still disturbed their neighbours).
+    """
+
+    latency: int
+    commit: Callable[[], None]
+    cancel: Callable[[float], None]
+
+
+class WriteExecutor(Protocol):
+    """Scheme-specific write-path behaviour plugged into the controller."""
+
+    def preread_slots(self, request: Request) -> List[PrereadSlot]:
+        """Adjacent lines of this write that will need verification."""
+        ...
+
+    def execute(self, entry: WriteEntry, now: int) -> WriteOp:
+        """Plan the composite write op for an entry popped from the queue."""
+        ...
+
+    def capture_baseline(self, slot: PrereadSlot) -> None:
+        """Snapshot the victim line's pre-write state into a PreRead slot."""
+        ...
+
+
+class MemoryController:
+    """Per-bank scheduling of reads, writes, prereads, and cancellations."""
+
+    def __init__(
+        self,
+        memory: MemoryConfig,
+        timing: TimingConfig,
+        scheme: SchemeConfig,
+        scheduler: Scheduler,
+        executor: WriteExecutor,
+        counters: Counters,
+    ):
+        self.memory = memory
+        self.timing = timing
+        self.scheme = scheme
+        self.scheduler = scheduler
+        self.executor = executor
+        self.counters = counters
+        self.banks = [
+            BankState(index=i, wq_capacity=memory.write_queue_entries)
+            for i in range(memory.banks)
+        ]
+        #: Bursty drains run until the queue falls to this low-water mark,
+        #: then reads regain the bank (high/low watermark flushing).
+        self._drain_low_water = memory.write_queue_entries // 2
+
+    # -- request entry points --------------------------------------------------
+
+    def enqueue_read(self, request: Request, on_done: Callable[[int], None]) -> None:
+        """Accept a demand read; completes via ``on_done(finish_time)``."""
+        bank = self.banks[request.addr.bank]
+        self.counters.demand_reads += 1
+        key = (request.addr.bank, request.addr.row, request.addr.line)
+        if bank.find_write(key) is not None:
+            # Read-around-write: newest data is still in the write queue.
+            self.counters.wq_forwarded_reads += 1
+            self.scheduler.schedule(
+                self.scheduler.now + FORWARD_READ_CYCLES, on_done
+            )
+            return
+        bank.read_q.append((request, on_done))
+        self._maybe_cancel_for_read(bank)
+        self._maybe_pause_for_read(bank)
+        self._kick(bank)
+
+    def try_enqueue_write(self, request: Request) -> bool:
+        """Accept a write into its bank's queue; False when the queue is full.
+
+        A full queue triggers (or continues) a bursty drain; the caller must
+        retry via :meth:`wait_for_space`.
+        """
+        bank = self.banks[request.addr.bank]
+        if bank.wq_full:
+            self.counters.wq_full_stalls += 1
+            bank.draining = True
+            self._kick(bank)
+            return False
+        entry = WriteEntry(request, slots=self.executor.preread_slots(request))
+        self._apply_queue_forwarding(bank, entry)
+        bank.write_q.append(entry)
+        self.counters.demand_writes += 1
+        if bank.wq_full:
+            bank.draining = True
+            self.counters.drains += 1
+        self._kick(bank)
+        return True
+
+    def wait_for_space(self, bank_index: int, waiter: Callable[[int], None]) -> None:
+        """Register a callback for when the bank's write queue has space."""
+        self.banks[bank_index].space_waiters.append(waiter)
+
+    def quiesce(self) -> bool:
+        """Start drains everywhere so queued writes finish (end of trace)."""
+        busy = False
+        for bank in self.banks:
+            if bank.write_q or bank.busy or bank.read_q:
+                busy = True
+            if bank.write_q:
+                bank.draining = True
+                bank.flush_all = True
+                self._kick(bank)
+        return busy
+
+    # -- internals ---------------------------------------------------------------
+
+    def _apply_queue_forwarding(self, bank: BankState, entry: WriteEntry) -> None:
+        """Section 4.3: if an adjacent line's newest data is still queued,
+        the pre-read is satisfied by forwarding, not by an array read."""
+        for slot in entry.slots:
+            key = (slot.addr.bank, slot.addr.row, slot.addr.line)
+            if bank.find_write(key) is not None:
+                slot.done = True
+                slot.forwarded = True
+                self.counters.preread_forwards += 1
+
+    def _maybe_cancel_for_read(self, bank: BankState) -> None:
+        """Write-cancellation policy [22] on demand-read arrival."""
+        if not self.scheme.write_cancellation:
+            return
+        op = bank.current
+        if op is None or bank.draining:
+            return
+        now = self.scheduler.now
+        if op.kind is RequestKind.PREREAD:
+            op.cancelled = True
+            self.counters.prereads_cancelled += 1
+            bank.current = None
+            self._kick(bank)
+        elif op.kind is RequestKind.WRITE:
+            if op.remaining(now) <= self.scheme.wc_threshold * op.latency:
+                return  # nearly done; let it finish
+            op.cancelled = True
+            self.counters.writes_cancelled += 1
+            self.counters.total_write_busy_cycles -= op.remaining(now)
+            if op.on_cancel is not None:
+                op.on_cancel(op.progress(now))
+            if op.entry is None:
+                raise SimulationError("cancelled write op without entry")
+            op.entry.cancellations += 1
+            bank.write_q.insert(0, op.entry)
+            bank.current = None
+            self._kick(bank)
+
+    def _maybe_pause_for_read(self, bank: BankState) -> None:
+        """Write-pausing policy [22]: stop an in-flight write at a round
+        boundary, serve the read, resume later with no lost work."""
+        if not self.scheme.write_pausing:
+            return
+        op = bank.current
+        if op is None or bank.draining or op.kind is not RequestKind.WRITE:
+            return
+        now = self.scheduler.now
+        remaining = op.remaining(now)
+        if remaining < self.timing.reset_cycles:
+            return  # within the final round; let it finish
+        if op.entry is None:
+            raise SimulationError("paused write op without entry")
+        if op.entry.pauses >= MAX_PAUSES_PER_WRITE:
+            return  # starvation guard: let the write finish
+        op.cancelled = True
+        op.entry.paused = PausedWrite(commit=op.commit, remaining=remaining)
+        op.entry.pauses += 1
+        self.counters.writes_paused += 1
+        # The remaining cycles will be re-charged when the write resumes.
+        self.counters.total_write_busy_cycles -= remaining
+        bank.write_q.insert(0, op.entry)
+        bank.current = None
+        self._kick(bank)
+
+    def _kick(self, bank: BankState) -> None:
+        """Start the next operation on an idle bank."""
+        if bank.busy:
+            return
+        now = self.scheduler.now
+        if bank.draining and bank.write_q:
+            self._start_write(bank, now)
+        elif bank.read_q and not bank.draining:
+            self._start_read(bank, now)
+        elif (
+            (
+                self.scheme.write_cancellation
+                or self.scheme.write_pausing
+                or self.scheme.eager_writes
+            )
+            and bank.write_q
+            and not bank.read_q
+        ):
+            # Eager write scheduling: reads can still pre-empt via
+            # cancellation or pausing, so writes need not wait for drains.
+            self._start_write(bank, now)
+        elif self.scheme.preread and not bank.draining:
+            self._start_preread(bank, now)
+
+    def _start_write(self, bank: BankState, now: int) -> None:
+        entry = bank.write_q.pop(0)
+        self._wake_space_waiters(bank, now)
+        if entry.paused is not None:
+            # Resume a paused write: the op was already planned; only the
+            # outstanding programming cycles remain.
+            paused, entry.paused = entry.paused, None
+            op = InFlightOp(
+                kind=RequestKind.WRITE,
+                start=now,
+                latency=paused.remaining,
+                entry=entry,
+                commit=paused.commit,
+            )
+            bank.current = op
+            self.counters.total_write_busy_cycles += paused.remaining
+            self.scheduler.schedule(
+                now + paused.remaining, lambda t: self._finish(bank, op, t)
+            )
+            return
+        op_plan = self.executor.execute(entry, now)
+        op = InFlightOp(
+            kind=RequestKind.WRITE,
+            start=now,
+            latency=op_plan.latency,
+            entry=entry,
+            commit=op_plan.commit,
+            on_cancel=op_plan.cancel,
+        )
+        bank.current = op
+        self.counters.total_write_busy_cycles += op_plan.latency
+        self.scheduler.schedule(now + op_plan.latency, lambda t: self._finish(bank, op, t))
+
+    def _start_read(self, bank: BankState, now: int) -> None:
+        request, on_done = bank.read_q.popleft()
+        latency = self.timing.read_cycles
+        op = InFlightOp(kind=RequestKind.READ, start=now, latency=latency)
+        op.commit = lambda: on_done(now + latency)
+        bank.current = op
+        self.counters.total_read_busy_cycles += latency
+        self.scheduler.schedule(now + latency, lambda t: self._finish(bank, op, t))
+
+    def _start_preread(self, bank: BankState, now: int) -> None:
+        target: Optional[tuple[WriteEntry, int]] = None
+        for entry in bank.write_q:
+            for i, slot in enumerate(entry.slots):
+                if not slot.done:
+                    target = (entry, i)
+                    break
+            if target:
+                break
+        if target is None:
+            return
+        entry, slot_index = target
+        latency = self.timing.read_cycles
+        op = InFlightOp(
+            kind=RequestKind.PREREAD,
+            start=now,
+            latency=latency,
+            entry=entry,
+            slot_index=slot_index,
+        )
+        bank.current = op
+        self.counters.prereads_issued += 1
+        self.counters.total_preread_busy_cycles += latency
+        self.scheduler.schedule(now + latency, lambda t: self._finish(bank, op, t))
+
+    def _finish(self, bank: BankState, op: InFlightOp, now: int) -> None:
+        if op.cancelled:
+            return
+        if bank.current is not op:
+            raise SimulationError("bank completion for a non-current op")
+        bank.current = None
+        if op.kind is RequestKind.WRITE:
+            if op.commit is not None:
+                op.commit()
+            low_water = 0 if bank.flush_all else self._drain_low_water
+            if bank.draining and len(bank.write_q) <= low_water:
+                bank.draining = False
+                if not bank.write_q:
+                    bank.flush_all = False
+        elif op.kind is RequestKind.READ:
+            if op.commit is not None:
+                op.commit()
+        elif op.kind is RequestKind.PREREAD:
+            if op.entry is not None and 0 <= op.slot_index < len(op.entry.slots):
+                slot = op.entry.slots[op.slot_index]
+                if not slot.done:
+                    slot.done = True
+                    self.executor.capture_baseline(slot)
+        self._kick(bank)
+
+    def _wake_space_waiters(self, bank: BankState, now: int) -> None:
+        waiters, bank.space_waiters = bank.space_waiters, []
+        for waiter in waiters:
+            self.scheduler.schedule(now, waiter)

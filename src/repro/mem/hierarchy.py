@@ -1,0 +1,101 @@
+"""The Table 2 cache hierarchy: private L1 + L2 + DRAM L3 per core.
+
+Each core owns a private stack (Table 2: 32 KB L1, 2 MB L2 4-way, 32 MB
+8-way DRAM cache, all 64 B lines, write-back).  ``access`` walks the stack
+and reports which references reach main memory, exactly the filtering the
+paper performs with PIN before feeding its simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..config import LINE_BYTES
+from .cache import Cache
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Per-core cache sizing (Table 2 defaults)."""
+
+    l1_bytes: int = 32 << 10
+    l1_ways: int = 4
+    l2_bytes: int = 2 << 20
+    l2_ways: int = 4
+    l3_bytes: int = 32 << 20
+    l3_ways: int = 8
+    #: DRAM-cache hit latency in cycles (50 ns at 4 GHz).
+    l3_hit_cycles: int = 200
+    l2_hit_cycles: int = 40
+    l1_hit_cycles: int = 4
+
+
+@dataclass(frozen=True)
+class MemoryReference:
+    """A reference that escaped the hierarchy toward main memory."""
+
+    address: int
+    is_write: bool
+
+
+@dataclass
+class CacheHierarchy:
+    """One core's private L1/L2/L3 stack."""
+
+    config: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    def __post_init__(self) -> None:
+        c = self.config
+        self.l1 = Cache("L1", c.l1_bytes, c.l1_ways)
+        self.l2 = Cache("L2", c.l2_bytes, c.l2_ways)
+        self.l3 = Cache("L3", c.l3_bytes, c.l3_ways)
+
+    def access(self, address: int, is_write: bool) -> Tuple[int, List[MemoryReference]]:
+        """Walk the hierarchy for one CPU access.
+
+        Returns ``(hit_cycles, memory_references)`` where the references are
+        the demand fill and/or dirty write-backs that reach the PCM main
+        memory (write-backs carry the *evicted* line's address).
+        """
+        c = self.config
+        refs: List[MemoryReference] = []
+        hit, wb = self.l1.access(address, is_write)
+        if hit:
+            return c.l1_hit_cycles, refs
+        if wb is not None:
+            self._writeback(wb, refs)
+        hit, wb = self.l2.access(address, False)
+        if wb is not None:
+            self._writeback_l3(wb, refs)
+        if hit:
+            return c.l2_hit_cycles, refs
+        hit, wb = self.l3.access(address, False)
+        if wb is not None:
+            refs.append(MemoryReference(wb * LINE_BYTES, True))
+        if hit:
+            return c.l3_hit_cycles, refs
+        refs.append(MemoryReference((address // LINE_BYTES) * LINE_BYTES, False))
+        return c.l3_hit_cycles, refs
+
+    def _writeback(self, line_addr: int, refs: List[MemoryReference]) -> None:
+        """An L1 dirty eviction lands in L2 (inclusive-ish write-back)."""
+        hit, wb = self.l2.access(line_addr * LINE_BYTES, True)
+        if wb is not None:
+            self._writeback_l3(wb, refs)
+
+    def _writeback_l3(self, line_addr: int, refs: List[MemoryReference]) -> None:
+        hit, wb = self.l3.access(line_addr * LINE_BYTES, True)
+        if wb is not None:
+            refs.append(MemoryReference(wb * LINE_BYTES, True))
+
+    def drain(self) -> List[MemoryReference]:
+        """Flush all levels; dirty L3 lines become memory write-backs."""
+        refs: List[MemoryReference] = []
+        for line_addr in self.l1.flush_dirty():
+            self._writeback(line_addr, refs)
+        for line_addr in self.l2.flush_dirty():
+            self._writeback_l3(line_addr, refs)
+        for line_addr in self.l3.flush_dirty():
+            refs.append(MemoryReference(line_addr * LINE_BYTES, True))
+        return refs

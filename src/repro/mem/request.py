@@ -1,0 +1,102 @@
+"""Memory requests exchanged between cores, controller, and banks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..pcm.array import LineAddress
+
+
+class RequestKind(Enum):
+    """The controller's request classes, in descending priority."""
+
+    #: Demand read from a core (highest priority; may cancel writes [22]).
+    READ = "read"
+    #: Buffered write-back from a core.
+    WRITE = "write"
+    #: Low-priority pre-write read issued by PreRead (Section 4.3).
+    PREREAD = "preread"
+
+
+@dataclass
+class Request:
+    """One demand request (read or write) from a core."""
+
+    kind: RequestKind
+    core: int
+    addr: LineAddress
+    issue_time: int
+    #: Allocation tag of the page this line belongs to ((n:m)-Alloc,
+    #: Figure 9); the controller uses it to decide which adjacent lines
+    #: need verification.
+    nm_tag: tuple[int, int] = (1, 1)
+    #: Per-request id for deterministic tie-breaking in event ordering.
+    seq: int = 0
+
+
+@dataclass
+class PrereadSlot:
+    """PreRead bookkeeping for one adjacent line of a write-queue entry.
+
+    Mirrors the Figure 8 hardware: one flag bit plus one 64 B data buffer.
+    In the simulator the "data buffer" is the verification baseline — a
+    snapshot of the victim line's disturbed-cell mask and its write epoch,
+    from which the pre-read data is reconstructible.
+    """
+
+    addr: LineAddress
+    done: bool = False
+    #: Snapshot of the victim's disturbed mask when the pre-read completed.
+    baseline: Optional[np.ndarray] = None
+    #: The victim line's write-epoch at snapshot time; a mismatch at verify
+    #: time means an intervening demand write made the buffer stale.
+    epoch: int = -1
+    #: True when the buffer was filled by forwarding from the write queue
+    #: (the adjacent line's newest data was still queued, Section 4.3).
+    forwarded: bool = False
+
+
+@dataclass
+class PausedWrite:
+    """State carried across a write pause [22]: the planned op's deferred
+    commit plus the programming cycles still owed when it resumes."""
+
+    commit: Callable[[], None]
+    remaining: int
+
+
+@dataclass
+class WriteEntry:
+    """One write-queue entry: the request plus its PreRead machinery."""
+
+    request: Request
+    #: PreRead slots for the adjacent lines that will need verification
+    #: (0, 1, or 2 of them depending on the (n:m) tag and block edges).
+    slots: list[PrereadSlot] = field(default_factory=list)
+    #: Number of times this write was cancelled and re-queued [22].
+    cancellations: int = 0
+    #: The write's logical payload, synthesised once on first execution so
+    #: a cancelled-and-retried write rewrites the *same* data.
+    payload: Optional[object] = None
+    #: Set while the write is paused mid-op (write pausing policy).
+    paused: Optional[PausedWrite] = None
+    #: Number of times this write was paused.
+    pauses: int = 0
+
+    @property
+    def addr(self) -> LineAddress:
+        return self.request.addr
+
+    def pending_preread(self) -> Optional[PrereadSlot]:
+        """The first adjacent line still waiting for its pre-read."""
+        for slot in self.slots:
+            if not slot.done:
+                return slot
+        return None
+
+    def prereads_complete(self) -> bool:
+        return all(slot.done for slot in self.slots)

@@ -1,0 +1,184 @@
+"""Bit-accurate PCM cell-array storage.
+
+The array is organised as ``banks x rows x 64 lines x 512 cells`` (Figure 6:
+one device row holds one 4 KB OS page, split into 64-byte lines; each line's
+eight 64-bit words live in the eight data chips).  Rows are materialised
+lazily and deterministically — an untouched row is initialised with seeded
+random contents the first time anything (a write, a verification read, a
+disturbance) touches it, so simulations are reproducible without allocating
+the full 8 GB.
+
+Per line the array tracks:
+
+* ``stored``   — the *correct* stored-domain image (post-DIN encoding),
+* ``flags``    — the line's DIN per-byte inversion flags (WD-free metadata),
+* ``disturbed``— mask of cells whose physical state currently deviates from
+  ``stored`` due to uncorrected write disturbance.
+
+The physical contents of a line are ``stored | disturbed`` — disturbance
+only ever flips amorphous ``0`` cells to ``1`` (partial crystallisation), so
+``stored & disturbed == 0`` is a core invariant, checked in debug helpers.
+
+uTrench adjacency (Section 2.2): the bit-line neighbours of line ``l`` of
+row ``r`` are line ``l`` of rows ``r - 1`` and ``r + 1`` in the same bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..config import LINES_PER_PAGE, LINE_WORDS
+from ..errors import DeviceError
+from . import line as L
+
+Coord = Tuple[int, int, int]  # (bank, row, line)
+
+
+class RowState:
+    """Materialised contents of one device row (64 lines)."""
+
+    __slots__ = ("stored", "flags", "disturbed")
+
+    def __init__(self, stored: np.ndarray, flags: np.ndarray, disturbed: np.ndarray):
+        self.stored = stored        # (64, 8) uint64
+        self.flags = flags          # (64,)  uint64
+        self.disturbed = disturbed  # (64, 8) uint64
+
+
+@dataclass(frozen=True)
+class LineAddress:
+    """A fully resolved device line coordinate."""
+
+    bank: int
+    row: int
+    line: int
+
+    def neighbour(self, direction: int) -> Optional["LineAddress"]:
+        """The bit-line-adjacent line above (-1) or below (+1), or ``None``
+        at the edge of the bank."""
+        row = self.row + direction
+        if row < 0:
+            return None
+        return LineAddress(self.bank, row, self.line)
+
+
+class PCMArray:
+    """Lazily materialised, deterministic PCM cell array."""
+
+    def __init__(self, banks: int, rows_per_bank: int, seed: int = 0):
+        if banks <= 0 or rows_per_bank <= 0:
+            raise DeviceError("banks and rows_per_bank must be positive")
+        self.banks = banks
+        self.rows_per_bank = rows_per_bank
+        self._seed = seed
+        self._rows: Dict[Tuple[int, int], RowState] = {}
+
+    # -- row materialisation -------------------------------------------------
+
+    def _check(self, bank: int, row: int, line: int = 0) -> None:
+        if not 0 <= bank < self.banks:
+            raise DeviceError(f"bank {bank} out of range 0..{self.banks - 1}")
+        if not 0 <= row < self.rows_per_bank:
+            raise DeviceError(f"row {row} out of range 0..{self.rows_per_bank - 1}")
+        if not 0 <= line < LINES_PER_PAGE:
+            raise DeviceError(f"line {line} out of range 0..{LINES_PER_PAGE - 1}")
+
+    def row_state(self, bank: int, row: int) -> RowState:
+        """Fetch (materialising if needed) one row's state."""
+        self._check(bank, row)
+        key = (bank, row)
+        state = self._rows.get(key)
+        if state is None:
+            rng = np.random.default_rng((self._seed, bank, row))
+            stored = rng.integers(
+                0, 1 << 64, size=(LINES_PER_PAGE, LINE_WORDS), dtype=L.WORD_DTYPE
+            )
+            flags = np.zeros(LINES_PER_PAGE, dtype=L.WORD_DTYPE)
+            disturbed = np.zeros((LINES_PER_PAGE, LINE_WORDS), dtype=L.WORD_DTYPE)
+            state = RowState(stored, flags, disturbed)
+            self._rows[key] = state
+        return state
+
+    def is_materialised(self, bank: int, row: int) -> bool:
+        return (bank, row) in self._rows
+
+    @property
+    def materialised_rows(self) -> int:
+        return len(self._rows)
+
+    # -- line access ---------------------------------------------------------
+
+    def stored_line(self, addr: LineAddress) -> np.ndarray:
+        """The correct stored-domain image of a line (mutable view)."""
+        self._check(addr.bank, addr.row, addr.line)
+        return self.row_state(addr.bank, addr.row).stored[addr.line]
+
+    def disturbed_mask(self, addr: LineAddress) -> np.ndarray:
+        """Outstanding WD flips of a line (mutable view)."""
+        self._check(addr.bank, addr.row, addr.line)
+        return self.row_state(addr.bank, addr.row).disturbed[addr.line]
+
+    def physical_line(self, addr: LineAddress) -> np.ndarray:
+        """What a raw array read returns: stored image plus WD flips."""
+        state = self.row_state(addr.bank, addr.row)
+        return state.stored[addr.line] | state.disturbed[addr.line]
+
+    def line_flags(self, addr: LineAddress) -> int:
+        return int(self.row_state(addr.bank, addr.row).flags[addr.line])
+
+    def set_line(self, addr: LineAddress, stored: np.ndarray, flags: int) -> None:
+        """Commit a write: install the stored image and clear WD flips.
+
+        Differential write pulses every cell whose physical value differs
+        from the new image, so after a demand write the line's physical and
+        stored contents coincide.
+        """
+        state = self.row_state(addr.bank, addr.row)
+        state.stored[addr.line] = stored
+        state.flags[addr.line] = np.uint64(flags)
+        state.disturbed[addr.line] = 0
+
+    def disturb(self, addr: LineAddress, mask: np.ndarray) -> int:
+        """Apply WD flips to a line; returns the number of *new* flips.
+
+        Only cells storing 0 can be disturbed; the caller supplies a mask
+        already restricted to vulnerable cells, but the array re-masks
+        defensively to preserve the ``stored & disturbed == 0`` invariant.
+        """
+        state = self.row_state(addr.bank, addr.row)
+        legal = mask & ~state.stored[addr.line]
+        new = legal & ~state.disturbed[addr.line]
+        state.disturbed[addr.line] |= legal
+        return L.popcount(new)
+
+    def correct(self, addr: LineAddress, mask: Optional[np.ndarray] = None) -> int:
+        """RESET disturbed cells back to their stored value.
+
+        With ``mask=None`` all outstanding flips are corrected.  Returns the
+        number of cells corrected (the RESET count of the correction write).
+        """
+        state = self.row_state(addr.bank, addr.row)
+        current = state.disturbed[addr.line]
+        target = current if mask is None else (current & mask)
+        cleared = L.popcount(target)
+        state.disturbed[addr.line] = current & ~target
+        return cleared
+
+    def check_invariants(self, addr: LineAddress) -> None:
+        """Raise if the line violates ``stored & disturbed == 0``."""
+        state = self.row_state(addr.bank, addr.row)
+        overlap = state.stored[addr.line] & state.disturbed[addr.line]
+        if L.popcount(overlap):
+            raise DeviceError(f"disturbed crystalline cell at {addr}")
+
+    # -- adjacency -----------------------------------------------------------
+
+    def bitline_neighbours(self, addr: LineAddress) -> Iterator[LineAddress]:
+        """Yield the (at most two) bit-line-adjacent lines of ``addr``."""
+        for direction in (-1, 1):
+            row = addr.row + direction
+            if 0 <= row < self.rows_per_bank:
+                yield LineAddress(addr.bank, row, addr.line)

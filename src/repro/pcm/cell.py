@@ -1,0 +1,63 @@
+"""SLC PCM cell semantics.
+
+A single-level cell stores one bit: the fully crystalline (low resistance)
+state is bit ``1``; the fully amorphous (high resistance) state is bit ``0``
+(Section 2.1).  Programming to ``0`` is a RESET (melt + quench); programming
+to ``1`` is a SET (anneal above crystallisation).
+
+Only a RESET disturbs neighbours, and only neighbours that are *idle* and
+*amorphous* (storing ``0``) are vulnerable (Section 2.2.1): heat decay keeps
+the neighbour below melt, so a crystalline neighbour cannot be melted, and
+SET current is about half of RESET so SET disturbance is negligible [27].
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class CellState(IntEnum):
+    """Logical state of an SLC PCM cell (the stored bit)."""
+
+    #: Fully amorphous, high resistance.
+    AMORPHOUS = 0
+    #: Fully crystalline, low resistance.
+    CRYSTALLINE = 1
+
+    @property
+    def bit(self) -> int:
+        return int(self)
+
+    @property
+    def vulnerable(self) -> bool:
+        """Whether an idle cell in this state can be disturbed.
+
+        A disturbed amorphous cell partially crystallises and its stored
+        ``0`` flips to ``1``; a crystalline cell cannot be disturbed.
+        """
+        return self is CellState.AMORPHOUS
+
+
+class Pulse(IntEnum):
+    """Programming pulse types."""
+
+    #: Melt + fast quench -> amorphous (writes bit 0). Disturbs neighbours.
+    RESET = 0
+    #: Long anneal above crystallisation -> crystalline (writes bit 1).
+    SET = 1
+
+
+def pulse_for(bit: int) -> Pulse:
+    """The pulse required to program ``bit`` into a cell."""
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+    return Pulse.SET if bit else Pulse.RESET
+
+
+def disturbed_value() -> int:
+    """The value a disturbed cell collapses to.
+
+    Disturbance partially crystallises the amorphous volume, greatly
+    reducing resistance, i.e. the cell reads as ``1``.
+    """
+    return CellState.CRYSTALLINE.bit

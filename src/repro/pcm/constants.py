@@ -1,0 +1,59 @@
+"""Physical constants and GST material parameters.
+
+These anchor the analytic thermal/disturbance models in
+:mod:`repro.pcm.thermal` and :mod:`repro.pcm.disturbance` to the data points
+the paper publishes (Section 2.2.2, Table 1):
+
+* RESET melts GST at ~600 C; SET crystallises above ~300 C (Section 2.1).
+* At F = 20 nm with minimal 2F pitch, the disturbance temperature at a
+  word-line neighbour is 310 C and at a bit-line neighbour 320 C, yielding
+  SLC disturbance probabilities of 9.9 % and 11.5 % respectively (Table 1).
+* Write disturbance was first observed at the 54 nm node [15].
+"""
+
+from __future__ import annotations
+
+#: Celsius -> Kelvin offset.
+KELVIN_OFFSET = 273.15
+
+#: Boltzmann constant in eV/K (used by the Arrhenius crystallisation model).
+BOLTZMANN_EV = 8.617333262e-5
+
+#: GST melting temperature in Celsius; RESET must exceed this.
+MELT_C = 600.0
+
+#: GST crystallisation threshold in Celsius; an idle amorphous cell held
+#: above this (but below melt) during a neighbour's RESET may crystallise.
+CRYSTALLIZATION_C = 300.0
+
+#: Peak cell temperature reached during a RESET pulse, Celsius.  Slightly
+#: above melt, consistent with "heats the cell above melting temperature".
+RESET_PEAK_C = 620.0
+
+#: Ambient (die) temperature in Celsius.
+AMBIENT_C = 25.0
+
+#: RESET pulse duration in seconds (100 ns, Table 2).
+RESET_PULSE_S = 100e-9
+
+#: Table 1 anchor: disturbance temperature between 2F-pitch word-line
+#: neighbours at F = 20 nm (oxide-isolated direction), Celsius.
+ANCHOR_WORDLINE_TEMP_C = 310.0
+
+#: Table 1 anchor: disturbance temperature between 2F-pitch bit-line
+#: neighbours at F = 20 nm (shared uTrench GST rail), Celsius.
+ANCHOR_BITLINE_TEMP_C = 320.0
+
+#: Table 1 anchor: SLC disturbance probability at 310 C.
+ANCHOR_WORDLINE_RATE = 0.099
+
+#: Table 1 anchor: SLC disturbance probability at 320 C.
+ANCHOR_BITLINE_RATE = 0.115
+
+#: Feature size the paper evaluates (nm).
+NODE_NM = 20.0
+
+#: Technology node at which WD was first observed [15]; the scaling model is
+#: calibrated so a 2F-pitch neighbour sits exactly at the crystallisation
+#: threshold at this node.
+FIRST_WD_NODE_NM = 54.0

@@ -1,0 +1,145 @@
+"""Word-line disturbance-aware data encoding (DIN [10] substitute).
+
+DIN encodes written data so that WD-vulnerable patterns — a cell being RESET
+horizontally adjacent to an idle amorphous (``0``) cell — are minimised
+along word-lines.  The full DIN design uses multi-bit disturbance-free
+codes; we implement the same idea with a per-byte inversion code (one flag
+bit per stored byte, cf. Flip-N-Write [7]) chosen, per write, to minimise
+the number of vulnerable pairs the write creates given the line's current
+physical contents.
+
+The measured suppression of our encoder plus the paper-calibrated residual
+scale (``DisturbanceConfig.din_residual_scale``, standing in for DIN's
+stronger codes) reproduces the paper's Figure 4(a) residual of ~0.4
+word-line errors per line write.
+
+Encoding is a bijection: ``decode(encode(data)) == data``.  Flag bits are
+stored in the line's metadata region, which (like DIN's code bits) is
+engineered WD-free, so flags are never disturbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..config import LINE_BYTES
+from . import line as L
+
+_BYTE = np.uint8(0xFF)
+
+
+@lru_cache(maxsize=1)
+def _vulnerability_table() -> np.ndarray:
+    """``table[old, new]`` = vulnerable word-line pairs created by storing
+    byte ``new`` over physical byte ``old``.
+
+    A pair is vulnerable when a RESET cell (1 -> 0 transition) sits next to
+    an idle cell whose stored value is 0.  Computed for all 65 536 byte
+    pairs once; the encoder then works via table lookups.
+    """
+    old = np.arange(256, dtype=np.uint16)[:, None]
+    new = np.arange(256, dtype=np.uint16)[None, :]
+    changed = old ^ new
+    reset = changed & ~new & 0xFF
+    idle = ~changed & 0xFF
+    neighbours = ((reset << 1) | (reset >> 1)) & 0xFF
+    vulnerable = neighbours & idle & (~old & 0xFF)
+    # popcount of a uint16 array via the 8-bit split
+    counts = np.zeros_like(vulnerable, dtype=np.uint8)
+    for shift in range(8):
+        counts += ((vulnerable >> shift) & 1).astype(np.uint8)
+    return counts
+
+
+@lru_cache(maxsize=1)
+def _changed_table() -> np.ndarray:
+    """``table[old, new]`` = cells pulsed when storing ``new`` over ``old``."""
+    old = np.arange(256, dtype=np.uint16)[:, None]
+    new = np.arange(256, dtype=np.uint16)[None, :]
+    changed = (old ^ new) & 0xFF
+    counts = np.zeros_like(changed, dtype=np.uint8)
+    for shift in range(8):
+        counts += ((changed >> shift) & 1).astype(np.uint8)
+    return counts
+
+
+#: Relative weight of one vulnerable pair against one extra pulsed cell in
+#: the encoder's cost function.  Inverting a byte avoids disturbance risk
+#: but costs extra programming (wear + possibly a SET round), so the
+#: encoder only inverts when the vulnerability win justifies the writes —
+#: like Flip-N-Write's criterion, biased toward disturbance avoidance.
+VULNERABILITY_WEIGHT = 4
+
+
+@dataclass(frozen=True)
+class EncodedWrite:
+    """Result of encoding one line write."""
+
+    #: Stored-domain bytes to write (after per-byte inversion).
+    stored: np.ndarray
+    #: One flag bit per byte; bit ``i`` set means byte ``i`` is inverted.
+    flags: int
+    #: Vulnerable pairs with and without encoding (for effectiveness stats).
+    vulnerable_encoded: int
+    vulnerable_raw: int
+
+
+class DINEncoder:
+    """Per-byte inversion encoder minimising word-line-vulnerable patterns."""
+
+    def encode(self, physical: np.ndarray, data: np.ndarray) -> EncodedWrite:
+        """Choose per-byte inversions for writing ``data`` over ``physical``.
+
+        ``physical`` and ``data`` are line arrays (8 x uint64).  Returns the
+        stored-domain image and the flag word.  The choice is greedy and
+        per-byte: adjacency across byte boundaries is not re-evaluated,
+        matching the hardware's parallel per-byte encoders.
+        """
+        vuln = _vulnerability_table()
+        writes = _changed_table()
+        old = physical.view(np.uint8)
+        raw = data.view(np.uint8)
+        inverted = (~raw).astype(np.uint8)
+        cost_raw = VULNERABILITY_WEIGHT * vuln[old, raw].astype(np.int32) + writes[old, raw]
+        cost_inv = VULNERABILITY_WEIGHT * vuln[old, inverted].astype(np.int32) + writes[old, inverted]
+        invert = cost_inv < cost_raw
+        stored_bytes = np.where(invert, inverted, raw).astype(np.uint8)
+        flags = int(np.packbits(invert.astype(np.uint8), bitorder="little").view(
+            np.uint64
+        )[0])
+        return EncodedWrite(
+            stored=stored_bytes.view(L.WORD_DTYPE).copy(),
+            flags=flags,
+            vulnerable_encoded=int(vuln[old, stored_bytes].sum()),
+            vulnerable_raw=int(vuln[old, raw].sum()),
+        )
+
+    def decode(self, stored: np.ndarray, flags: int) -> np.ndarray:
+        """Invert the encoding: recover logical data from stored bytes."""
+        stored_bytes = stored.view(np.uint8)
+        invert = np.unpackbits(
+            np.array([flags], dtype=np.uint64).view(np.uint8), bitorder="little"
+        )[:LINE_BYTES].astype(bool)
+        out = np.where(invert, (~stored_bytes).astype(np.uint8), stored_bytes)
+        return out.astype(np.uint8).view(L.WORD_DTYPE).copy()
+
+    def vulnerable_pairs(self, physical: np.ndarray, stored: np.ndarray) -> int:
+        """Count word-line-vulnerable pairs a stored image would create."""
+        table = _vulnerability_table()
+        return int(table[physical.view(np.uint8), stored.view(np.uint8)].sum())
+
+
+def wordline_vulnerable_mask(
+    physical: np.ndarray, reset_mask: np.ndarray, changed_mask: np.ndarray
+) -> np.ndarray:
+    """Mask of idle cells vulnerable to word-line WD during a write.
+
+    A cell is vulnerable when (i) it is horizontally adjacent (within its
+    64-bit chip segment) to a cell being RESET, (ii) it is idle in this
+    write, and (iii) it currently stores 0 (amorphous).
+    """
+    idle = (~changed_mask).astype(L.WORD_DTYPE)
+    return (L.wordline_neighbours(reset_mask) & idle & ~physical).astype(L.WORD_DTYPE)

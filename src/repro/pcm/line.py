@@ -1,0 +1,127 @@
+"""64-byte PCM line representation and bit-mask utilities.
+
+A memory line is 64 bytes = 512 SLC cells, held as eight ``numpy.uint64``
+words.  Word ``w`` bit ``b`` (LSB = 0) is cell index ``w * 64 + b``.  Each
+64-bit word maps to the 8-byte segment one data chip contributes to the line
+(Figure 6: a row is split into 8 data segments across 8 chips), so word-line
+adjacency exists *within* a word but not across word boundaries — cells of
+different words sit in different chips.
+
+These helpers are the hot path of the simulator, so they operate on whole
+line masks with vectorised numpy where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..config import LINE_BITS, LINE_WORDS
+
+#: dtype used for all line masks and data.
+WORD_DTYPE = np.uint64
+
+_U64_ONE = np.uint64(1)
+_U64_MSB = np.uint64(1) << np.uint64(63)
+
+
+def zero_line() -> np.ndarray:
+    """A fresh all-zero line mask/data array."""
+    return np.zeros(LINE_WORDS, dtype=WORD_DTYPE)
+
+
+def full_line() -> np.ndarray:
+    """A line mask with every bit set."""
+    return np.full(LINE_WORDS, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=WORD_DTYPE)
+
+
+def random_line(rng: np.random.Generator) -> np.ndarray:
+    """A line with uniformly random contents (used for untouched rows)."""
+    return rng.integers(0, 1 << 64, size=LINE_WORDS, dtype=WORD_DTYPE)
+
+
+def popcount(mask: np.ndarray) -> int:
+    """Number of set bits across the whole line mask."""
+    # numpy >= 1.24 does not vectorise int.bit_count over uint64 directly;
+    # unpackbits on the byte view is branch-free and fast for 64 bytes.
+    return int(np.unpackbits(mask.view(np.uint8)).sum())
+
+
+def bit_positions(mask: np.ndarray) -> List[int]:
+    """Sorted cell indices of the set bits in a line mask."""
+    bits = np.unpackbits(mask.view(np.uint8), bitorder="little")
+    return [int(i) for i in np.nonzero(bits)[0]]
+
+
+def mask_from_positions(positions: Iterable[int]) -> np.ndarray:
+    """Build a line mask with the given cell indices set."""
+    mask = zero_line()
+    for pos in positions:
+        if not 0 <= pos < LINE_BITS:
+            raise ValueError(f"bit position {pos} out of range 0..{LINE_BITS - 1}")
+        mask[pos >> 6] |= _U64_ONE << np.uint64(pos & 63)
+    return mask
+
+
+def get_bit(data: np.ndarray, pos: int) -> int:
+    """Read one cell of a line."""
+    return int((data[pos >> 6] >> np.uint64(pos & 63)) & _U64_ONE)
+
+
+def set_bit(data: np.ndarray, pos: int, value: int) -> None:
+    """Write one cell of a line in place."""
+    bit = _U64_ONE << np.uint64(pos & 63)
+    if value:
+        data[pos >> 6] |= bit
+    else:
+        data[pos >> 6] &= ~bit
+
+
+def shift_left(mask: np.ndarray) -> np.ndarray:
+    """Shift every word's bits up by one (toward MSB), per-word.
+
+    Word-line neighbours only exist within a word (one chip segment), so the
+    shift does **not** carry across word boundaries.  ``shift_left(m)`` has a
+    bit set where the cell one position *above* a set bit of ``m`` lives.
+    """
+    return (mask << _U64_ONE).astype(WORD_DTYPE)
+
+
+def shift_right(mask: np.ndarray) -> np.ndarray:
+    """Per-word one-bit shift toward LSB (see :func:`shift_left`)."""
+    return (mask >> _U64_ONE).astype(WORD_DTYPE)
+
+
+def wordline_neighbours(mask: np.ndarray) -> np.ndarray:
+    """Mask of all cells horizontally adjacent to any set cell.
+
+    The input cells themselves are *not* removed; callers typically AND the
+    result with an idle/vulnerable mask that already excludes them.
+    """
+    return shift_left(mask) | shift_right(mask)
+
+
+def sample_mask(
+    candidates: np.ndarray, probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Independently keep each set bit of ``candidates`` with ``probability``.
+
+    This is the disturbance sampling kernel: each vulnerable cell is
+    disturbed independently with the per-cell WD probability.
+    """
+    if probability <= 0.0:
+        return zero_line()
+    bits = np.unpackbits(candidates.view(np.uint8), bitorder="little")
+    n = int(bits.sum())
+    if n == 0:
+        return zero_line()
+    if probability >= 1.0:
+        return candidates.copy()
+    keep = rng.random(n) < probability
+    if not keep.any():
+        return zero_line()
+    idx = np.nonzero(bits)[0][keep]
+    out = np.zeros(LINE_BITS, dtype=np.uint8)
+    out[idx] = 1
+    return np.packbits(out, bitorder="little").view(WORD_DTYPE).copy()

@@ -1,0 +1,111 @@
+"""PCM cell scaling model across technology nodes.
+
+Combines the thermal model and the disturbance model to answer, per node:
+what are the cell geometry options and their WD error rates?  This is the
+"PCM cell scaling model" leg of Section 2.2.2, used by examples and the
+Table 1 / capacity experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..errors import ConfigError
+from . import constants as C
+from .disturbance import DisturbanceModel, default_disturbance_model
+from .thermal import Medium, ThermalModel, default_thermal_model
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """WD characterisation of one technology node at minimal 2F pitch."""
+
+    feature_nm: float
+    wordline_temp_c: float
+    bitline_temp_c: float
+    wordline_error_rate: float
+    bitline_error_rate: float
+
+    @property
+    def wd_prone(self) -> bool:
+        """Whether minimal-pitch cells suffer any WD at this node."""
+        return self.bitline_error_rate > 0.0 or self.wordline_error_rate > 0.0
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Evaluate WD severity across technology nodes."""
+
+    thermal: ThermalModel | None = None
+    disturbance: DisturbanceModel | None = None
+
+    def _models(self) -> tuple[ThermalModel, DisturbanceModel]:
+        return (
+            self.thermal or default_thermal_model(),
+            self.disturbance or default_disturbance_model(),
+        )
+
+    def profile(self, feature_nm: float) -> NodeProfile:
+        """Characterise minimal-pitch (2F) WD at one node."""
+        if feature_nm <= 0:
+            raise ConfigError("feature size must be positive")
+        thermal, model = self._models()
+        pitch = 2.0 * feature_nm
+        wl_t = thermal.neighbour_temperature(pitch, Medium.OXIDE, feature_nm)
+        bl_t = thermal.neighbour_temperature(pitch, Medium.GST, feature_nm)
+        return NodeProfile(
+            feature_nm=feature_nm,
+            wordline_temp_c=wl_t,
+            bitline_temp_c=bl_t,
+            wordline_error_rate=model.error_rate(wl_t),
+            bitline_error_rate=model.error_rate(bl_t),
+        )
+
+    def sweep(self, nodes_nm: Iterable[float]) -> List[NodeProfile]:
+        """Characterise a sequence of nodes (e.g. 54 -> 20 nm roadmap)."""
+        return [self.profile(node) for node in nodes_nm]
+
+    def wd_onset_node(self, lo_nm: float = 10.0, hi_nm: float = 100.0) -> float:
+        """Largest node (nm) at which minimal-pitch WD appears, via bisection.
+
+        Calibrated to land at ~54 nm, where WD was first reported [15].
+        """
+        thermal, _ = self._models()
+
+        def prone(feature: float) -> bool:
+            return not thermal.is_wd_free(2.0 * feature, Medium.GST, feature)
+
+        if not prone(lo_nm):
+            raise ConfigError("lower bound must be WD-prone")
+        if prone(hi_nm):
+            return hi_nm
+        for _ in range(64):
+            mid = 0.5 * (lo_nm + hi_nm)
+            if prone(mid):
+                lo_nm = mid
+            else:
+                hi_nm = mid
+        return 0.5 * (lo_nm + hi_nm)
+
+
+def minimum_safe_pitch(
+    medium: Medium,
+    feature_nm: float = C.NODE_NM,
+    thermal: ThermalModel | None = None,
+) -> float:
+    """Smallest pitch (in units of F) at which a neighbour is WD-free.
+
+    The paper's prototype chip picks 3F/4F spacings (Figure 1b); this
+    computes the model's own safe pitch for comparison, rounded up to the
+    next 0.5F fabrication step.
+    """
+    thermal = thermal or default_thermal_model()
+    steps = [x * 0.5 for x in range(2, 17)]  # 1.0F .. 8.0F
+    for mult in steps:
+        pitch = mult * feature_nm
+        if pitch < feature_nm:
+            continue
+        if thermal.is_wd_free(pitch, medium, feature_nm):
+            return mult
+    raise ConfigError("no safe pitch below 8F; model parameters implausible")

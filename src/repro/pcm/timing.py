@@ -1,0 +1,42 @@
+"""PCM operation timing helpers.
+
+Thin layer over :class:`~repro.config.TimingConfig` that names the composite
+operations the controller schedules.  All values are CPU cycles at 4 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import TimingConfig
+
+
+@dataclass(frozen=True)
+class OpTimings:
+    """Named latencies for the controller's composite operations."""
+
+    timing: TimingConfig
+
+    @property
+    def array_read(self) -> int:
+        """One line read (demand read, pre-write read, or verify read)."""
+        return self.timing.read_cycles
+
+    @property
+    def verify_pair(self) -> int:
+        """Post-write verification reads of both adjacent lines."""
+        return 2 * self.timing.read_cycles
+
+    @property
+    def min_write(self) -> int:
+        """Lower bound on any write op (one RESET round)."""
+        return self.timing.reset_cycles
+
+    @property
+    def max_single_round_write(self) -> int:
+        """Upper bound on a single-round write (one SET round)."""
+        return self.timing.set_cycles
+
+    def ns(self, cycles: int) -> float:
+        """Convert cycles to nanoseconds at the configured clock."""
+        return cycles / self.timing.cpu_ghz

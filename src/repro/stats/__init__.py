@@ -1,0 +1,14 @@
+"""Statistics: counters, lifetime accounting, energy, report rendering."""
+
+from .counters import Counters
+from .energy import EnergyModel, EnergyReport, energy_report
+from .lifetime import LifetimeReport, lifetime_report
+
+__all__ = [
+    "Counters",
+    "EnergyModel",
+    "EnergyReport",
+    "energy_report",
+    "LifetimeReport",
+    "lifetime_report",
+]

@@ -1,0 +1,57 @@
+"""Lifetime accounting helpers (Figures 17 and 18).
+
+PCM endurance is consumed by cell programming.  The counters collected
+during a run record, separately:
+
+* demand-write cell changes on the data chips (the unavoidable baseline),
+* correction-write RESETs on the data chips (pure WD overhead, Figure 17),
+* background ECP-region cell changes (~10x fewer than data-chip changes
+  for the same stream, Section 6.7),
+* WD entry programming in the ECP region (9-bit pointer + value per
+  buffered error, Figure 18).
+
+Normalised lifetime is ``baseline_wear / (baseline_wear + extra_wear)``:
+wear accumulates linearly in cell writes, so extra writes shorten life by
+exactly the wear ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ecp.wear import relative_lifetime
+from .counters import Counters
+
+
+@dataclass(frozen=True)
+class LifetimeReport:
+    """Both chips' normalised lifetimes for one run."""
+
+    workload: str
+    data_chip: float
+    ecp_chip: float
+
+    @property
+    def data_degradation(self) -> float:
+        return 1.0 - self.data_chip
+
+    @property
+    def ecp_degradation(self) -> float:
+        return 1.0 - self.ecp_chip
+
+
+def lifetime_report(workload: str, counters: Counters) -> LifetimeReport:
+    """Build the Figure 17/18 data points from run counters."""
+    data = relative_lifetime(
+        counters.data_cell_writes_demand,
+        counters.data_cell_writes_demand + counters.data_cell_writes_correction,
+    )
+    base = counters.ecp_cell_writes_background / Counters.ECP_BACKGROUND_DIVISOR
+    ecp = relative_lifetime(base, base + counters.ecp_cell_writes_wd)
+    return LifetimeReport(workload=workload, data_chip=data, ecp_chip=ecp)
+
+
+#: Intra-row wear-levelling across data and ECP chips improves DIMM
+#: lifetime by ~12.5% [28]; SD-PCM's low-density ECP chip cannot join that
+#: rotation (Section 6.7), which is the design's one lifetime concession.
+INTRA_ROW_WL_LOSS = 0.125

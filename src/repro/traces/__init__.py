@@ -1,0 +1,25 @@
+"""Workload substrate: Table 3 profiles, synthetic traces, workloads."""
+
+from . import file_io
+from .analysis import TraceProfile, analyse
+from .profiles import PROFILES, WORKLOAD_ORDER, BenchmarkProfile, profile
+from .record import TraceRecord
+from .synthetic import SyntheticTraceGenerator, generate_trace
+from .workload import Workload, homogeneous_workload, mixed_workload, paper_workloads
+
+__all__ = [
+    "file_io",
+    "TraceProfile",
+    "analyse",
+    "PROFILES",
+    "WORKLOAD_ORDER",
+    "BenchmarkProfile",
+    "profile",
+    "TraceRecord",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "Workload",
+    "homogeneous_workload",
+    "mixed_workload",
+    "paper_workloads",
+]

@@ -1,0 +1,106 @@
+"""Trace serialisation: save/load main-memory traces.
+
+Two formats:
+
+* **binary** (``.npz``): three numpy arrays (``is_write``, ``address``,
+  ``gap``), compact and fast — the format to use for sweep campaigns so
+  trace generation is paid once.
+* **text** (``.trace``): one ``R|W <hex-address> <gap>`` record per line,
+  the classic simulator interchange format, handy for diffing and for
+  importing traces produced by external tools (e.g. a real PIN run).
+
+Both formats round-trip exactly and validate on load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..config import LINE_BYTES
+from ..errors import TraceError
+from .record import TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def save_npz(records: List[TraceRecord], path: PathLike) -> None:
+    """Save a trace as a compressed numpy archive."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        is_write=np.array([r.is_write for r in records], dtype=bool),
+        address=np.array([r.address for r in records], dtype=np.int64),
+        gap=np.array([r.gap for r in records], dtype=np.int64),
+    )
+
+
+def load_npz(path: PathLike) -> List[TraceRecord]:
+    """Load a trace saved by :func:`save_npz`."""
+    path = Path(path)
+    with np.load(path) as data:
+        for field in ("is_write", "address", "gap"):
+            if field not in data:
+                raise TraceError(f"{path}: missing field {field!r}")
+        is_write = data["is_write"]
+        address = data["address"]
+        gap = data["gap"]
+    if not (len(is_write) == len(address) == len(gap)):
+        raise TraceError(f"{path}: field lengths differ")
+    return [
+        TraceRecord(is_write=bool(w), address=int(a), gap=int(g))
+        for w, a, g in zip(is_write, address, gap)
+    ]
+
+
+def save_text(records: List[TraceRecord], path: PathLike) -> None:
+    """Save a trace in the line-oriented text format."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write("# SD-PCM trace: <R|W> <hex line address> <instruction gap>\n")
+        for r in records:
+            kind = "W" if r.is_write else "R"
+            fh.write(f"{kind} {r.address:#x} {r.gap}\n")
+
+
+def load_text(path: PathLike) -> List[TraceRecord]:
+    """Load a text trace; tolerant of comments and blank lines."""
+    path = Path(path)
+    records: List[TraceRecord] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in ("R", "W"):
+                raise TraceError(f"{path}:{lineno}: malformed record {line!r}")
+            try:
+                address = int(parts[1], 0)
+                gap = int(parts[2])
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from exc
+            if address % LINE_BYTES:
+                # External traces may be byte-granular; align down.
+                address -= address % LINE_BYTES
+            records.append(
+                TraceRecord(is_write=parts[0] == "W", address=address, gap=gap)
+            )
+    return records
+
+
+def save(records: List[TraceRecord], path: PathLike) -> None:
+    """Save by extension: ``.npz`` binary, anything else text."""
+    if str(path).endswith(".npz"):
+        save_npz(records, path)
+    else:
+        save_text(records, path)
+
+
+def load(path: PathLike) -> List[TraceRecord]:
+    """Load by extension: ``.npz`` binary, anything else text."""
+    if str(path).endswith(".npz"):
+        return load_npz(path)
+    return load_text(path)

@@ -1,0 +1,49 @@
+"""Trace records: the unit of work the simulation engine replays.
+
+A trace is the stream of *main-memory* references of one core, i.e. what a
+PIN tool captures after cache filtering (Section 5.2).  Each record carries:
+
+* ``is_write`` — read or write-back,
+* ``address`` — 64-byte-aligned virtual byte address,
+* ``gap`` — the number of non-memory instructions executed by the in-order
+  core since the previous record (these retire at CPI = 1).
+
+Write payloads are not embedded: the engine synthesises each write's new
+data from the line's current contents and the workload's bit-flip density
+(see :class:`~repro.traces.profiles.BenchmarkProfile.flip_fraction`), which
+is the only payload property the evaluation depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import LINE_BYTES
+from ..errors import TraceError
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One main-memory reference of one core."""
+
+    is_write: bool
+    address: int
+    gap: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceError(f"negative address {self.address:#x}")
+        if self.address % LINE_BYTES:
+            raise TraceError(f"address {self.address:#x} not 64 B aligned")
+        if self.gap < 0:
+            raise TraceError(f"negative instruction gap {self.gap}")
+
+    @property
+    def line_address(self) -> int:
+        """The 64 B line index of this reference."""
+        return self.address // LINE_BYTES
+
+    @property
+    def page(self) -> int:
+        """The 4 KB virtual page number of this reference."""
+        return self.address >> 12

@@ -1,0 +1,132 @@
+"""Synthetic main-memory trace generation.
+
+Stands in for the paper's PIN-captured traces (Section 5.2).  The generator
+produces a reference stream with the benchmark's measured RPKI/WPKI and a
+two-mode address process:
+
+* **stream mode** (probability ``seq_fraction``): the next reference
+  continues the current sequential run, advancing one 64 B line; runs
+  restart from a fresh page when they cross a page boundary with a small
+  probability, approximating unit-stride array sweeps.
+* **pointer mode**: a fresh (page, line) is drawn with Zipf-distributed page
+  popularity over the working set, approximating irregular heaps.
+
+Instruction gaps between references are geometric with mean
+``1000 / (RPKI + WPKI)``, matching the benchmark's access intensity.
+
+Generation is deterministic per (profile, seed, core index).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..config import LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES
+from ..errors import TraceError
+from .profiles import BenchmarkProfile, profile
+from .record import TraceRecord
+
+
+def _zipf_page_sampler(
+    pages: int, s: float, rng: np.random.Generator
+) -> "np.ndarray":
+    """Pre-build a cumulative Zipf distribution over page *ranks*.
+
+    Page ranks are shuffled into page numbers so that popular pages are
+    spread across the address space (and hence across banks), as real
+    allocators do [17].
+    """
+    ranks = np.arange(1, pages + 1, dtype=np.float64)
+    weights = ranks ** (-s) if s > 0 else np.ones(pages)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    permutation = rng.permutation(pages)
+    return cdf, permutation
+
+
+class SyntheticTraceGenerator:
+    """Deterministic per-core trace generator for one benchmark profile."""
+
+    def __init__(
+        self,
+        bench: BenchmarkProfile,
+        seed: int = 0,
+        core: int = 0,
+        base_page: int = 0,
+    ):
+        self.profile = bench
+        self.seed = seed
+        self.core = core
+        #: First virtual page of this core's working set (cores run separate
+        #: copies in different address spaces; the engine maps each core's
+        #: virtual pages independently anyway, but a base keeps streams
+        #: distinguishable in merged dumps).
+        self.base_page = base_page
+
+    def generate(self, length: int) -> List[TraceRecord]:
+        """Produce ``length`` trace records."""
+        if length < 0:
+            raise TraceError("length must be >= 0")
+        bench = self.profile
+        # zlib.crc32 rather than hash(): Python string hashing is salted
+        # per process, which would make traces irreproducible across runs.
+        name_tag = zlib.crc32(bench.name.encode()) & 0xFFFF
+        rng = np.random.default_rng((self.seed, self.core, name_tag))
+        cdf, perm = _zipf_page_sampler(bench.working_set_pages, bench.zipf_s, rng)
+
+        is_write = rng.random(length) < bench.write_fraction
+        # Geometric gaps with the profile's mean; numpy's geometric counts
+        # trials >= 1, so subtract one to allow back-to-back references.
+        p = min(1.0, 1.0 / max(bench.mean_gap, 1.0))
+        gaps = rng.geometric(p, size=length) - 1
+        streaming = rng.random(length) < bench.seq_fraction
+        fresh_draws = rng.random(length)
+        # Line-within-page popularity is itself skewed (applications hammer
+        # the same fields/nodes): a Zipf rank over the 64 lines, rotated
+        # per page so hot lines do not all share one bank column.
+        line_cdf, line_perm = _zipf_page_sampler(LINES_PER_PAGE, 0.9, rng)
+        line_draws = rng.random(length)
+
+        records: List[TraceRecord] = []
+        page = int(perm[np.searchsorted(cdf, fresh_draws[0])])
+        line = int(line_perm[np.searchsorted(line_cdf, line_draws[0])])
+        for i in range(length):
+            if i and streaming[i]:
+                line += 1
+                if line >= LINES_PER_PAGE:
+                    line = 0
+                    page = (page + 1) % bench.working_set_pages
+            elif i:
+                page = int(perm[np.searchsorted(cdf, fresh_draws[i])])
+                rank = int(line_perm[np.searchsorted(line_cdf, line_draws[i])])
+                line = (rank + page * 7) % LINES_PER_PAGE
+            address = (self.base_page + page) * PAGE_BYTES + line * LINE_BYTES
+            records.append(
+                TraceRecord(
+                    is_write=bool(is_write[i]),
+                    address=address,
+                    gap=int(gaps[i]),
+                )
+            )
+        return records
+
+    def stream(self, length: int) -> Iterator[TraceRecord]:
+        """Iterate records without materialising the whole list."""
+        return iter(self.generate(length))
+
+
+def generate_trace(
+    benchmark: str,
+    length: int,
+    seed: int = 0,
+    core: int = 0,
+    base_page: Optional[int] = None,
+) -> List[TraceRecord]:
+    """Convenience wrapper: trace for a named Table 3 benchmark."""
+    bench = profile(benchmark)
+    if base_page is None:
+        base_page = core * bench.working_set_pages
+    return SyntheticTraceGenerator(bench, seed, core, base_page).generate(length)

@@ -1,0 +1,93 @@
+"""Multiprogrammed workload composition (Section 5.2).
+
+"Each core runs one copy of these applications, forming multi-programming
+workloads running in different virtual address spaces."  A
+:class:`Workload` therefore bundles one per-core trace list; cores get
+distinct RNG streams and disjoint virtual page ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import TraceError
+from .profiles import WORKLOAD_ORDER, BenchmarkProfile, profile
+from .record import TraceRecord
+from .synthetic import SyntheticTraceGenerator
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Named bundle of per-core traces plus their source profiles."""
+
+    name: str
+    traces: List[List[TraceRecord]]
+    profiles: List[BenchmarkProfile]
+    flip_fractions: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise TraceError("workload needs at least one core trace")
+        if len(self.traces) != len(self.profiles):
+            raise TraceError("one profile per core trace required")
+        if not self.flip_fractions:
+            object.__setattr__(
+                self, "flip_fractions", [p.flip_fraction for p in self.profiles]
+            )
+
+    @property
+    def cores(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_references(self) -> int:
+        return sum(len(t) for t in self.traces)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(t) + sum(r.gap for r in t) for t in self.traces)
+
+
+def homogeneous_workload(
+    benchmark: str, cores: int = 8, length: int = 20_000, seed: int = 0
+) -> Workload:
+    """The paper's workload style: every core runs a copy of one program."""
+    bench = profile(benchmark)
+    traces = [
+        SyntheticTraceGenerator(
+            bench, seed=seed, core=c, base_page=c * bench.working_set_pages
+        ).generate(length)
+        for c in range(cores)
+    ]
+    return Workload(benchmark, traces, [bench] * cores)
+
+
+def mixed_workload(
+    benchmarks: Sequence[str], length: int = 20_000, seed: int = 0, name: str = "mix"
+) -> Workload:
+    """A heterogeneous mix: core ``i`` runs ``benchmarks[i]``."""
+    if not benchmarks:
+        raise TraceError("need at least one benchmark")
+    traces, profs = [], []
+    next_base = 0
+    for core, bench_name in enumerate(benchmarks):
+        bench = profile(bench_name)
+        traces.append(
+            SyntheticTraceGenerator(
+                bench, seed=seed, core=core, base_page=next_base
+            ).generate(length)
+        )
+        profs.append(bench)
+        next_base += bench.working_set_pages
+    return Workload(name, traces, profs)
+
+
+def paper_workloads(
+    cores: int = 8, length: int = 20_000, seed: int = 0
+) -> Dict[str, Workload]:
+    """All Table 3 workloads in the paper's plotting order."""
+    return {
+        name: homogeneous_workload(name, cores=cores, length=length, seed=seed)
+        for name in WORKLOAD_ORDER
+    }

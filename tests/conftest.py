@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic systems and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DisturbanceConfig,
+    MemoryConfig,
+    SchemeConfig,
+    SystemConfig,
+    TimingConfig,
+)
+from repro.traces.workload import Workload, homogeneous_workload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def small_config(scheme: SchemeConfig | None = None, **kwargs) -> SystemConfig:
+    """A 2-core config over the full-size memory (rows are lazy anyway)."""
+    defaults = dict(
+        cores=2,
+        timing=TimingConfig(),
+        memory=MemoryConfig(),
+        disturbance=DisturbanceConfig(),
+        scheme=scheme or SchemeConfig(),
+        seed=7,
+    )
+    defaults.update(kwargs)
+    return SystemConfig(**defaults)
+
+
+def small_workload(bench: str = "stream", cores: int = 2, length: int = 300,
+                   seed: int = 7) -> Workload:
+    return homogeneous_workload(bench, cores=cores, length=length, seed=seed)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return small_config()
+
+
+@pytest.fixture
+def workload() -> Workload:
+    return small_workload()

@@ -1,0 +1,64 @@
+"""Accounting invariants: instruction counts, stat conservation, fairness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import schemes
+from repro.core.system import simulate
+from tests.conftest import small_config, small_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    wl = small_workload("mcf", cores=2, length=500)
+    return simulate(small_config(schemes.lazyc_preread()), wl), wl
+
+
+class TestInstructionAccounting:
+    def test_instructions_match_trace(self, result):
+        res, wl = result
+        assert res.instructions == wl.total_instructions
+
+    def test_cpi_consistent_with_cycles(self, result):
+        res, _ = result
+        # mean per-core CPI and cycles/instructions agree within the
+        # spread of per-core finish times.
+        assert res.cpi == pytest.approx(
+            sum(res.per_core_cpi) / len(res.per_core_cpi)
+        )
+
+
+class TestCounterConservation:
+    def test_error_flow_conserved(self, result):
+        """Every detected bit-line error is absorbed, corrected, or still
+        covered: absorbed <= bitline_errors and corrections clear the rest."""
+        res, _ = result
+        c = res.counters
+        assert c.ecp_absorbed_errors <= c.bitline_errors + c.partial_write_errors
+        # With LazyC almost everything is absorbed at ECP-6.
+        assert c.ecp_absorbed_errors > 0
+
+    def test_preread_slots_conserved(self, result):
+        """Each verification consumed exactly one pre-read source: an idle
+        preread hit, a queue forward, a stale re-read, or a demand read."""
+        res, _ = result
+        c = res.counters
+        sources = (
+            c.preread_hits
+            + c.preread_forwards
+            + c.preread_stale
+            + c.pre_write_reads
+        )
+        assert sources == c.verifications
+
+    def test_issued_prereads_bound_hits(self, result):
+        res, _ = result
+        c = res.counters
+        assert c.preread_hits <= c.prereads_issued
+
+    def test_busy_cycles_positive(self, result):
+        res, _ = result
+        c = res.counters
+        assert c.total_write_busy_cycles > 0
+        assert c.total_read_busy_cycles > 0

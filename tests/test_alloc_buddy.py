@@ -1,0 +1,126 @@
+"""Tests (incl. property-based) for the buddy allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.buddy import BuddyAllocator
+from repro.errors import AllocationError
+
+
+def make(frames=1 << 6, order=4):
+    return BuddyAllocator(frames, max_order=order)
+
+
+class TestBasics:
+    def test_initial_free(self):
+        b = make()
+        assert b.free_frames() == 64
+        assert b.allocated_frames() == 0
+        assert b.free_blocks(4) == 4
+
+    def test_allocate_splits(self):
+        b = make()
+        base = b.allocate(0)
+        assert base == 0
+        # One order-4 block split: free lists hold 1+1+1+1 sub-blocks.
+        assert b.free_frames() == 63
+        assert b.free_blocks(0) == 1
+        assert b.free_blocks(1) == 1
+
+    def test_free_coalesces(self):
+        b = make()
+        base = b.allocate(0)
+        b.free(base, 0)
+        assert b.free_blocks(4) == 4
+        assert b.free_frames() == 64
+
+    def test_alignment(self):
+        b = make()
+        for order in (0, 1, 2, 3):
+            base = b.allocate(order)
+            assert base % (1 << order) == 0
+
+    def test_out_of_memory(self):
+        b = make(frames=16, order=4)
+        b.allocate(4)
+        with pytest.raises(AllocationError):
+            b.allocate(0)
+
+    def test_double_free_rejected(self):
+        b = make()
+        base = b.allocate(2)
+        b.free(base, 2)
+        with pytest.raises(AllocationError):
+            b.free(base, 2)
+
+    def test_wrong_order_free_rejected(self):
+        b = make()
+        base = b.allocate(2)
+        with pytest.raises(AllocationError):
+            b.free(base, 1)
+
+    def test_misaligned_region_rejected(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(100, max_order=4)
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocations and frees."""
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 4)),
+            max_size=60,
+        )
+    )
+
+
+class TestProperties:
+    @given(alloc_free_script())
+    @settings(max_examples=100, deadline=None)
+    def test_invariants_under_random_script(self, script):
+        b = BuddyAllocator(1 << 7, max_order=5)
+        live: list[tuple[int, int]] = []
+        for action, order in script:
+            if action == "alloc":
+                try:
+                    base = b.allocate(order)
+                except AllocationError:
+                    continue
+                live.append((base, order))
+            elif live:
+                idx = order % len(live)
+                base, o = live.pop(idx)
+                b.free(base, o)
+        b.check_invariants()
+        assert b.free_frames() + b.allocated_frames() == 128
+
+    @given(alloc_free_script())
+    @settings(max_examples=50, deadline=None)
+    def test_no_overlapping_allocations(self, script):
+        b = BuddyAllocator(1 << 7, max_order=5)
+        live: list[tuple[int, int]] = []
+        for action, order in script:
+            if action == "alloc":
+                try:
+                    base = b.allocate(order)
+                except AllocationError:
+                    continue
+                span = set(range(base, base + (1 << order)))
+                for other_base, other_order in live:
+                    other = set(range(other_base, other_base + (1 << other_order)))
+                    assert not (span & other)
+                live.append((base, order))
+            elif live:
+                base, o = live.pop(order % len(live))
+                b.free(base, o)
+
+    def test_full_churn_restores_max_blocks(self):
+        b = BuddyAllocator(1 << 7, max_order=5)
+        bases = [b.allocate(0) for _ in range(128)]
+        assert b.free_frames() == 0
+        for base in bases:
+            b.free(base, 0)
+        assert b.free_blocks(5) == 4

@@ -1,0 +1,112 @@
+"""Tests for the tagged page table, TLB, and WD-aware DMA (Section 4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.dma import DMAController, DMARegion
+from repro.alloc.page_table import MAX_ALLOCATORS, TAG_BITS, PageTable, TLB
+from repro.alloc.strips import is_no_use
+from repro.config import PAGES_PER_STRIP
+from repro.errors import AllocationError
+
+
+def counter_source():
+    state = {"next": 0}
+
+    def source(n: int, m: int) -> int:
+        frame = state["next"]
+        state["next"] += 1
+        return frame
+
+    return source
+
+
+class TestPageTable:
+    def test_demand_fault_allocates(self):
+        pt = PageTable((1, 1), counter_source())
+        entry = pt.translate(100)
+        assert entry.frame == 0
+        assert pt.faults == 1
+        assert pt.mapped_pages == 1
+
+    def test_translation_stable(self):
+        pt = PageTable((1, 1), counter_source())
+        first = pt.translate(5)
+        second = pt.translate(5)
+        assert first == second
+        assert pt.faults == 1
+
+    def test_tag_propagates(self):
+        pt = PageTable((2, 3), counter_source())
+        assert pt.translate(0).nm_tag == (2, 3)
+
+    def test_lookup_without_fault(self):
+        pt = PageTable((1, 1), counter_source())
+        assert pt.lookup(9) is None
+        pt.translate(9)
+        assert pt.lookup(9) is not None
+
+    def test_bad_tag(self):
+        with pytest.raises(AllocationError):
+            PageTable((3, 2), counter_source())
+
+    def test_tag_fits_pte_field(self):
+        assert MAX_ALLOCATORS == 1 << TAG_BITS == 16
+
+
+class TestTLB:
+    def test_hit_after_miss(self):
+        pt = PageTable((1, 1), counter_source())
+        tlb = TLB(entries=4)
+        tlb.translate(1, pt)
+        tlb.translate(1, pt)
+        assert tlb.hits == 1 and tlb.misses == 1
+        assert tlb.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        pt = PageTable((1, 1), counter_source())
+        tlb = TLB(entries=2)
+        tlb.translate(1, pt)
+        tlb.translate(2, pt)
+        tlb.translate(3, pt)   # evicts 1
+        tlb.translate(1, pt)   # miss again
+        assert tlb.misses == 4
+
+    def test_capacity_validation(self):
+        with pytest.raises(AllocationError):
+            TLB(entries=0)
+
+
+class TestDMA:
+    def test_1_1_contiguous(self):
+        region = DMARegion(base_frame=0, pages=40, nm_tag=(1, 1))
+        frames = DMAController().frames(region)
+        assert frames == list(range(40))
+
+    def test_1_2_skips_odd_strips(self):
+        region = DMARegion(base_frame=0, pages=40, nm_tag=(1, 2))
+        frames = DMAController().frames(region)
+        assert len(frames) == 40
+        for f in frames:
+            assert not is_no_use(f // PAGES_PER_STRIP, 1, 2)
+        # First 16 frames are strip 0, next 16 skip to strip 2.
+        assert frames[16] == 2 * PAGES_PER_STRIP
+
+    def test_transfer_reports_skips(self):
+        region = DMARegion(base_frame=0, pages=33, nm_tag=(1, 2))
+        touched, skipped = DMAController().transfer(region)
+        assert touched == 33
+        assert skipped == 2  # strips 1 and 3 skipped within the span
+
+    def test_unsupported_ratio(self):
+        with pytest.raises(AllocationError):
+            DMARegion(base_frame=0, pages=4, nm_tag=(2, 3))
+
+    def test_start_in_no_use_strip_rejected(self):
+        with pytest.raises(AllocationError):
+            DMARegion(base_frame=PAGES_PER_STRIP, pages=4, nm_tag=(1, 2))
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(AllocationError):
+            DMARegion(base_frame=0, pages=0, nm_tag=(1, 1))

@@ -1,0 +1,64 @@
+"""Property test: the cache matches a reference LRU model exactly."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import Cache
+
+
+class ReferenceLRU:
+    """Oracle: per-set OrderedDict LRU with write-back dirty bits."""
+
+    def __init__(self, sets: int, ways: int):
+        self.sets = sets
+        self.ways = ways
+        self._sets = [OrderedDict() for _ in range(sets)]
+
+    def access(self, line_addr: int, is_write: bool):
+        index = line_addr % self.sets
+        tag = line_addr // self.sets
+        ways = self._sets[index]
+        if tag in ways:
+            dirty = ways.pop(tag)
+            ways[tag] = dirty or is_write
+            return True, None
+        victim = None
+        if len(ways) >= self.ways:
+            vtag, vdirty = ways.popitem(last=False)
+            if vdirty:
+                victim = vtag * self.sets + index
+        ways[tag] = is_write
+        return False, victim
+
+
+accesses = st.lists(
+    st.tuples(st.integers(0, 255), st.booleans()), max_size=300
+)
+
+
+class TestAgainstReference:
+    @given(accesses, st.integers(1, 3), st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_and_writebacks_match(self, ops, ways_pow, sets_pow):
+        ways = 1 << ways_pow
+        sets = 1 << sets_pow
+        cache = Cache("t", size_bytes=sets * ways * 64, ways=ways)
+        oracle = ReferenceLRU(sets, ways)
+        for line_addr, is_write in ops:
+            got = cache.access(line_addr * 64, is_write)
+            want = oracle.access(line_addr, is_write)
+            assert got == want
+
+    @given(accesses)
+    @settings(max_examples=30, deadline=None)
+    def test_stats_consistent(self, ops):
+        cache = Cache("t", size_bytes=4 * 64, ways=2)
+        hits = 0
+        for line_addr, is_write in ops:
+            hit, _ = cache.access(line_addr * 64, is_write)
+            hits += hit
+        assert cache.stats.hits == hits
+        assert cache.stats.accesses == len(ops)

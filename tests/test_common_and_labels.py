@@ -1,0 +1,85 @@
+"""Tests for experiments.common plumbing and system scheme labels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import schemes
+from repro.core.system import SDPCMSystem
+from repro.experiments.common import (
+    ExperimentResult,
+    add_gmean_row,
+    core_count,
+    paper_workload_names,
+    trace_length,
+    workload,
+)
+from repro.traces.profiles import WORKLOAD_ORDER
+from tests.conftest import small_config
+
+
+class TestEnvKnobs:
+    def test_trace_length_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_LEN", raising=False)
+        assert trace_length(777) == 777
+
+    def test_trace_length_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "4242")
+        assert trace_length() == 4242
+
+    def test_core_count_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORES", "2")
+        assert core_count() == 2
+
+
+class TestWorkloadCache:
+    def test_cache_returns_same_object(self):
+        a = workload("wrf", 50, 1, 9)
+        b = workload("wrf", 50, 1, 9)
+        assert a is b
+
+    def test_distinct_keys_distinct_objects(self):
+        a = workload("wrf", 50, 1, 9)
+        b = workload("wrf", 60, 1, 9)
+        assert a is not b
+
+    def test_paper_workload_names(self):
+        assert paper_workload_names() == WORKLOAD_ORDER
+        assert paper_workload_names(("mcf",)) == ["mcf"]
+
+
+class TestExperimentResult:
+    def test_gmean_row_skips_text_cells(self):
+        result = ExperimentResult("t", ["w", "x"], rows=[["a", 2.0], ["b", 8.0]])
+        add_gmean_row(result)
+        assert result.rows[-1][0] == "gmean"
+        assert result.rows[-1][1] == pytest.approx(4.0)
+
+    def test_gmean_row_on_empty(self):
+        result = ExperimentResult("t", ["w", "x"])
+        add_gmean_row(result)
+        assert result.rows == []
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("t", ["a"], rows=[["x"]], notes=["hello"])
+        assert "note: hello" in result.render()
+
+
+class TestSchemeLabels:
+    @pytest.mark.parametrize(
+        "factory, fragment",
+        [
+            (schemes.wp_lazyc, "WP"),
+            (schemes.write_pausing, "WP"),
+            (schemes.eager, "eager"),
+            (schemes.wc_lazyc, "WC"),
+            (schemes.lazyc_dense_ecp, "denseECP"),
+        ],
+    )
+    def test_labels_mention_components(self, factory, fragment):
+        label = SDPCMSystem(small_config(factory()))._scheme_label()
+        assert fragment in label
+
+    def test_nm_label(self):
+        label = SDPCMSystem(small_config(schemes.nm_alloc(1, 2)))._scheme_label()
+        assert "(1:2)" in label

@@ -1,0 +1,265 @@
+"""Tests for the VnC write executor: the SD-PCM write path semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DisturbanceConfig,
+    SchemeConfig,
+    TimingConfig,
+)
+from repro.core.vnc import VnCExecutor
+from repro.ecp.chip import ECPChip
+from repro.mem.request import Request, RequestKind, WriteEntry
+from repro.pcm import line as L
+from repro.pcm.array import LineAddress, PCMArray
+from repro.stats.counters import Counters
+
+TIMING = TimingConfig()
+
+
+def make_executor(
+    scheme: SchemeConfig,
+    p_bitline: float = 1.0,
+    p_wordline: float = 0.0,
+    seed: int = 5,
+    rows: int = 64,
+    lifetime_fraction: float = 0.0,
+):
+    array = PCMArray(banks=16, rows_per_bank=rows, seed=seed)
+    ecp = ECPChip(entries_per_line=scheme.ecp_entries)
+    counters = Counters()
+    executor = VnCExecutor(
+        array=array,
+        ecp=ecp,
+        scheme=scheme,
+        timing=TIMING,
+        disturbance=DisturbanceConfig(
+            p_bitline=p_bitline, p_wordline=p_wordline, din_residual_scale=0.0
+        ),
+        counters=counters,
+        rng=np.random.default_rng(seed),
+        flip_fractions=[0.12],
+        lifetime_fraction=lifetime_fraction,
+    )
+    return executor, array, ecp, counters
+
+
+def write_entry(executor, bank=2, row=10, line=3, core=0, nm=(1, 1)):
+    request = Request(
+        RequestKind.WRITE, core, LineAddress(bank, row, line), 0, nm_tag=nm
+    )
+    return WriteEntry(request, slots=executor.preread_slots(request))
+
+
+def run_write(executor, entry):
+    op = executor.execute(entry, now=0)
+    op.commit()
+    return op
+
+
+class TestSlots:
+    def test_baseline_two_slots(self):
+        ex, *_ = make_executor(SchemeConfig())
+        entry = write_entry(ex, row=10)
+        assert [s.addr.row for s in entry.slots] == [9, 11]
+
+    def test_din_no_slots(self):
+        ex, *_ = make_executor(SchemeConfig(wd_free_bitlines=True, vnc=False))
+        assert write_entry(ex).slots == []
+
+    def test_top_edge_single_slot(self):
+        ex, *_ = make_executor(SchemeConfig())
+        entry = write_entry(ex, row=0)
+        assert [s.addr.row for s in entry.slots] == [1]
+
+    def test_1_2_interior_no_slots(self):
+        ex, *_ = make_executor(SchemeConfig(nm_ratio=(1, 2)))
+        entry = write_entry(ex, row=2, nm=(1, 2))
+        assert entry.slots == []
+
+    def test_1_2_block_edge_verifies_top(self):
+        ex, *_ = make_executor(SchemeConfig(nm_ratio=(1, 2)), rows=2048)
+        entry = write_entry(ex, row=1024, nm=(1, 2))  # first strip of block 2
+        assert [s.addr.row for s in entry.slots] == [1023]
+
+    def test_2_3_one_slot(self):
+        ex, *_ = make_executor(SchemeConfig(nm_ratio=(2, 3)))
+        entry = write_entry(ex, row=3, nm=(2, 3))  # local 3 % 3 == 0: top used
+        assert [s.addr.row for s in entry.slots] == [2]
+
+
+class TestWriteCommit:
+    def test_payload_lands_logically(self):
+        ex, array, _, _ = make_executor(SchemeConfig(), p_bitline=0.0)
+        entry = write_entry(ex)
+        run_write(ex, entry)
+        addr = entry.addr
+        decoded = ex.encoder.decode(
+            array.stored_line(addr), array.line_flags(addr)
+        )
+        assert np.array_equal(decoded, entry.payload)
+
+    def test_payload_stable_across_retries(self):
+        ex, *_ = make_executor(SchemeConfig(), p_bitline=0.0)
+        entry = write_entry(ex)
+        ex.execute(entry, 0)  # planned but never committed (cancelled)
+        payload_first = entry.payload.copy()
+        run_write(ex, entry)
+        assert np.array_equal(entry.payload, payload_first)
+
+    def test_epoch_bumped(self):
+        ex, *_ = make_executor(SchemeConfig(), p_bitline=0.0)
+        entry = write_entry(ex)
+        key = (entry.addr.bank, entry.addr.row, entry.addr.line)
+        run_write(ex, entry)
+        assert ex.epochs[key] == 1
+        run_write(ex, write_entry(ex))
+        assert ex.epochs[key] == 2
+
+    def test_latency_includes_prereads_and_verify(self):
+        ex, *_ = make_executor(SchemeConfig(), p_bitline=0.0)
+        op = ex.execute(write_entry(ex), 0)
+        # 2 pre-reads + write (>=1 round) + 2 verify reads, no corrections.
+        assert op.latency >= 4 * TIMING.read_cycles + TIMING.reset_cycles
+
+
+class TestBaselineCorrection:
+    def test_disturbance_corrected_immediately(self):
+        ex, array, _, counters = make_executor(SchemeConfig(), p_bitline=1.0)
+        entry = write_entry(ex)
+        run_write(ex, entry)
+        for slot in entry.slots:
+            assert L.popcount(array.disturbed_mask(slot.addr)) == 0
+        assert counters.corrections >= 1
+        assert counters.bitline_errors > 0
+
+    def test_correction_latency_charged(self):
+        ex_clean, *_ = make_executor(SchemeConfig(), p_bitline=0.0)
+        ex_dirty, *_ = make_executor(SchemeConfig(), p_bitline=1.0)
+        clean = ex_clean.execute(write_entry(ex_clean), 0)
+        dirty = ex_dirty.execute(write_entry(ex_dirty), 0)
+        assert dirty.latency > clean.latency
+
+    def test_no_errors_no_correction(self):
+        ex, _, _, counters = make_executor(SchemeConfig(), p_bitline=0.0)
+        run_write(ex, write_entry(ex))
+        assert counters.corrections == 0
+        assert counters.verifications == 2
+
+
+class TestLazyCorrection:
+    def scheme(self, entries=6):
+        return SchemeConfig(lazy_correction=True, ecp_entries=entries)
+
+    def test_errors_absorbed_not_corrected(self):
+        # With p=1 the error count may exceed ECP-6; use a huge ECP.
+        ex, array, ecp, counters = make_executor(self.scheme(512))
+        entry = write_entry(ex)
+        run_write(ex, entry)
+        assert counters.corrections == 0
+        assert counters.ecp_absorbed_errors == counters.bitline_errors
+        for slot in entry.slots:
+            vkey = (slot.addr.bank, slot.addr.row, slot.addr.line)
+            line = ecp.peek(vkey)
+            disturbed = L.popcount(array.disturbed_mask(slot.addr))
+            assert (line.wd_count if line else 0) == disturbed
+
+    def test_victim_reads_correctly_via_ecp(self):
+        ex, array, ecp, _ = make_executor(self.scheme(512))
+        entry = write_entry(ex)
+        run_write(ex, entry)
+        for slot in entry.slots:
+            vkey = (slot.addr.bank, slot.addr.row, slot.addr.line)
+            line = ecp.peek(vkey)
+            if line is None:
+                continue
+            corrected = line.corrected_read(array.physical_line(slot.addr))
+            assert np.array_equal(corrected, array.stored_line(slot.addr))
+
+    def test_overflow_triggers_correction(self):
+        ex, array, ecp, counters = make_executor(self.scheme(1))
+        entry = write_entry(ex)
+        run_write(ex, entry)
+        # p=1 disturbs many cells; ECP-1 must overflow and correct.
+        assert counters.ecp_overflows >= 1
+        assert counters.corrections >= 1
+        for slot in entry.slots:
+            # Anything left disturbed must fit in (and be covered by) ECP-1.
+            remaining = L.popcount(array.disturbed_mask(slot.addr))
+            assert remaining <= 1
+            if remaining:
+                vkey = (slot.addr.bank, slot.addr.row, slot.addr.line)
+                covered = {e.position for e in ecp.line(vkey).entries}
+                assert set(L.bit_positions(array.disturbed_mask(slot.addr))) <= covered
+
+    def test_demand_write_clears_own_wd_entries(self):
+        ex, array, ecp, counters = make_executor(self.scheme(512))
+        entry = write_entry(ex, row=10)
+        run_write(ex, entry)
+        victim = entry.slots[1].addr  # row 11 accumulated entries
+        vkey = (victim.bank, victim.row, victim.line)
+        before = ecp.peek(vkey)
+        if before is None or before.wd_count == 0:
+            pytest.skip("no errors sampled into bottom victim")
+        # Now write the victim itself: its WD entries must clear.
+        run_write(ex, write_entry(ex, row=victim.row, line=victim.line,
+                                  bank=victim.bank))
+        assert ecp.peek(vkey).wd_count == L.popcount(
+            array.disturbed_mask(victim)
+        ) == 0
+        assert counters.ecp_cleared_by_write > 0
+
+    def test_hard_errors_reduce_spare_capacity(self):
+        ex, _, ecp, counters = make_executor(
+            self.scheme(6), lifetime_fraction=1.0
+        )
+        run_write(ex, write_entry(ex))
+        # With end-of-life hard seeding, some lines start partially full.
+        seeded = [ecp.peek(k) for k in list(ecp._lines)]
+        assert any(line.hard_count > 0 for line in seeded if line)
+
+
+class TestCancel:
+    def test_cancel_leaves_uncovered_partial_disturbance(self):
+        ex, array, _, counters = make_executor(SchemeConfig(), p_bitline=1.0)
+        entry = write_entry(ex)
+        op = ex.execute(entry, 0)
+        op.cancel(0.9)
+        assert counters.partial_write_errors > 0
+        assert len(ex.uncovered) > 0
+        # The retried write detects and handles the partial flips.
+        run_write(ex, entry)
+        assert not ex.uncovered
+        for slot in entry.slots:
+            assert L.popcount(array.disturbed_mask(slot.addr)) == 0
+
+    def test_cancel_zero_progress_is_noop(self):
+        ex, _, _, counters = make_executor(SchemeConfig())
+        op = ex.execute(write_entry(ex), 0)
+        op.cancel(0.0)
+        assert counters.partial_write_errors == 0
+        assert not ex.uncovered
+
+
+class TestDisturbanceDisabled:
+    def test_din_chip_never_disturbs(self):
+        ex, array, _, counters = make_executor(
+            SchemeConfig(wd_free_bitlines=True, vnc=False), p_bitline=1.0
+        )
+        entry = write_entry(ex)
+        run_write(ex, entry)
+        assert counters.bitline_errors == 0
+        assert counters.verifications == 0
+
+    def test_unprotected_mode_accumulates_uncovered(self):
+        ex, array, _, counters = make_executor(
+            SchemeConfig(vnc=False), p_bitline=1.0
+        )
+        entry = write_entry(ex)
+        run_write(ex, entry)
+        assert counters.bitline_errors > 0
+        assert counters.corrections == 0
+        assert ex.uncovered  # injected but undetected

@@ -1,0 +1,170 @@
+"""Tests for the ECP substrate: entries, per-line ECP-N, chip, wear."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import LINE_BITS
+from repro.ecp.chip import ECPChip
+from repro.ecp.entry import ENTRY_BITS, ECPEntry, EntryKind
+from repro.ecp.line_ecp import ECPLine
+from repro.ecp.wear import WearModel, relative_lifetime
+from repro.errors import ECPExhaustedError, ConfigError
+from repro.pcm import line as L
+
+
+class TestEntry:
+    def test_valid_entry(self):
+        e = ECPEntry(position=511, value=1, kind=EntryKind.WD)
+        assert e.position == 511
+
+    def test_bad_position(self):
+        with pytest.raises(ValueError):
+            ECPEntry(position=512, value=0, kind=EntryKind.HARD)
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            ECPEntry(position=0, value=2, kind=EntryKind.HARD)
+
+    def test_entry_bits(self):
+        assert ENTRY_BITS == 10  # 9-bit pointer + 1-bit value
+
+
+class TestECPLineWD:
+    def test_absorb_within_capacity(self):
+        line = ECPLine(capacity=6)
+        outcome = line.record_wd_errors([(1, 0), (2, 0)])
+        assert outcome.absorbed and outcome.entries_written == 2
+        assert line.wd_count == 2 and line.free == 4
+
+    def test_overflow_is_all_or_nothing(self):
+        line = ECPLine(capacity=3)
+        assert line.record_wd_errors([(1, 0), (2, 0)]).absorbed
+        outcome = line.record_wd_errors([(3, 0), (4, 0)])
+        assert not outcome.absorbed
+        assert outcome.entries_written == 0
+        assert line.wd_count == 2  # nothing partially programmed
+
+    def test_duplicate_positions_free(self):
+        line = ECPLine(capacity=2)
+        line.record_wd_errors([(5, 0)])
+        outcome = line.record_wd_errors([(5, 0), (6, 0)])
+        assert outcome.absorbed and outcome.entries_written == 1
+
+    def test_clear_wd(self):
+        line = ECPLine(capacity=6)
+        line.record_wd_errors([(1, 0), (2, 0), (3, 0)])
+        assert line.clear_wd() == 3
+        assert line.wd_count == 0
+
+    def test_would_overflow(self):
+        line = ECPLine(capacity=6)
+        line.record_wd_errors([(i, 0) for i in range(5)])
+        assert not line.would_overflow(1)
+        assert line.would_overflow(2)
+
+
+class TestECPLineHard:
+    def test_hard_priority_evicts_wd(self):
+        line = ECPLine(capacity=2)
+        line.record_wd_errors([(1, 0), (2, 0)])
+        evicted = line.add_hard_error(9, 1)
+        assert evicted in (1, 2)
+        assert line.hard_count == 1 and line.wd_count == 1
+
+    def test_hard_overflow_raises(self):
+        line = ECPLine(capacity=1)
+        line.add_hard_error(0, 0)
+        with pytest.raises(ECPExhaustedError):
+            line.add_hard_error(1, 0)
+
+    def test_hard_survives_clear(self):
+        line = ECPLine(capacity=6)
+        line.add_hard_error(7, 1)
+        line.record_wd_errors([(1, 0)])
+        line.clear_wd()
+        assert line.hard_count == 1
+        assert line.entries[0].kind is EntryKind.HARD
+
+    def test_duplicate_hard_noop(self):
+        line = ECPLine(capacity=2)
+        line.add_hard_error(3, 1)
+        assert line.add_hard_error(3, 1) == -1
+        assert line.hard_count == 1
+
+
+class TestCorrectedRead:
+    def test_entries_override_cells(self):
+        line = ECPLine(capacity=6)
+        line.record_wd_errors([(0, 0)])   # cell 0 disturbed, correct value 0
+        line.add_hard_error(1, 1)          # cell 1 stuck, correct value 1
+        physical = L.mask_from_positions([0])  # cell 0 reads 1 (disturbed)
+        corrected = line.corrected_read(physical)
+        assert L.get_bit(corrected, 0) == 0
+        assert L.get_bit(corrected, 1) == 1
+
+    def test_no_entries_returns_same_object(self):
+        line = ECPLine(capacity=6)
+        physical = L.mask_from_positions([3])
+        assert line.corrected_read(physical) is physical
+
+    def test_covered_mask(self):
+        line = ECPLine(capacity=6)
+        line.record_wd_errors([(10, 0), (20, 0)])
+        line.add_hard_error(30, 1)
+        assert L.bit_positions(line.covered_mask()) == [10, 20, 30]
+
+    @given(st.lists(st.integers(0, LINE_BITS - 1), unique=True, max_size=6))
+    def test_read_path_restores_stored_values(self, positions):
+        """Property: disturbed cells covered by ECP always read correctly."""
+        line = ECPLine(capacity=6)
+        line.record_wd_errors([(p, 0) for p in positions])
+        physical = L.mask_from_positions(positions)  # all flipped to 1
+        corrected = line.corrected_read(physical)
+        assert L.popcount(corrected) == 0
+
+
+class TestChipAndWear:
+    def test_chip_lazy_lines(self):
+        chip = ECPChip(entries_per_line=6)
+        assert chip.touched_lines == 0
+        chip.line((0, 1, 2)).record_wd_errors([(1, 0)])
+        assert chip.touched_lines == 1
+        assert chip.peek((0, 1, 2)) is not None
+        assert chip.peek((9, 9, 9)) is None
+
+    def test_chip_geometry_wd_free(self):
+        chip = ECPChip()
+        assert chip.geometry.wd_free
+        assert chip.geometry.area_premium_vs_data_chip == 2.0
+
+    def test_wear_charging(self):
+        chip = ECPChip()
+        chip.charge_entry_writes(3)
+        assert chip.entry_cell_writes == 30
+
+    def test_wear_model_monotone(self):
+        model = WearModel()
+        means = [model.mean_hard_errors(f) for f in (0.0, 0.5, 1.0)]
+        assert means[0] == 0.0
+        assert means == sorted(means)
+        assert means[-1] == pytest.approx(2.0)
+
+    def test_wear_model_sampling(self):
+        model = WearModel()
+        rng = np.random.default_rng(0)
+        samples = model.sample_line_hard_errors(1.0, rng, size=1000)
+        assert samples.mean() == pytest.approx(2.0, rel=0.15)
+
+    def test_relative_lifetime(self):
+        assert relative_lifetime(100, 100) == 1.0
+        assert relative_lifetime(100, 200) == 0.5
+        assert relative_lifetime(0, 50) == 1.0
+        with pytest.raises(ConfigError):
+            relative_lifetime(-1, 0)
+
+    def test_bad_lifetime_fraction(self):
+        with pytest.raises(ConfigError):
+            WearModel().mean_hard_errors(1.5)

@@ -1,0 +1,144 @@
+"""Tests for the energy model, Start-Gap wear levelling, and Flip-N-Write."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.startgap import StartGap, simulate_levelling, wear_spread
+from repro.config import LINE_BITS
+from repro.errors import ConfigError
+from repro.pcm import line as L
+from repro.pcm.flip_n_write import FlipNWriteEncoder
+from repro.stats.counters import Counters
+from repro.stats.energy import EnergyModel, EnergyReport, energy_report
+
+
+class TestEnergyModel:
+    def test_line_read_energy(self):
+        assert EnergyModel().line_read_pj == pytest.approx(2.0 * 512)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(read_pj_per_bit=-1.0)
+
+    def test_report_composition(self):
+        c = Counters()
+        c.demand_reads = 10
+        c.verify_reads = 4
+        c.data_cell_writes_demand = 100
+        c.data_cell_writes_correction = 10
+        c.ecp_cell_writes_wd = 20
+        report = energy_report(c)
+        assert report.demand_read_pj == pytest.approx(10 * 1024.0)
+        assert report.correction_pj == pytest.approx(10 * 19.2)
+        assert report.total_pj == pytest.approx(
+            report.demand_read_pj
+            + report.verification_read_pj
+            + report.demand_write_pj
+            + report.correction_pj
+            + report.ecp_entry_pj
+        )
+        assert 0.0 < report.wd_overhead_fraction < 1.0
+
+    def test_empty_counters_zero(self):
+        report = energy_report(Counters())
+        assert report.total_pj == 0.0
+        assert report.wd_overhead_fraction == 0.0
+
+    def test_per_access(self):
+        c = Counters()
+        c.demand_reads = 4
+        report = energy_report(c)
+        assert report.per_access_pj(4) == pytest.approx(1024.0)
+        with pytest.raises(ConfigError):
+            report.per_access_pj(0)
+
+
+class TestStartGap:
+    def test_initial_mapping_identity(self):
+        region = StartGap(lines=8)
+        assert region.mapping_snapshot() == list(range(8))
+
+    def test_mapping_is_bijective_always(self):
+        region = StartGap(lines=8, gap_write_interval=1)
+        for step in range(100):
+            snapshot = region.mapping_snapshot()
+            assert len(set(snapshot)) == 8
+            assert all(0 <= s < 9 for s in snapshot)
+            region.note_write(step % 8)
+
+    def test_gap_moves_every_interval(self):
+        region = StartGap(lines=8, gap_write_interval=3)
+        moves = sum(region.note_write(0) for _ in range(9))
+        assert moves == 3
+        assert region.total_moves == 3
+
+    def test_full_lap_increments_start(self):
+        region = StartGap(lines=4, gap_write_interval=1)
+        for _ in range(5):  # gap walks 4 -> 3 -> 2 -> 1 -> 0 -> wraps
+            region.note_write(0)
+        assert region.start == 1
+
+    def test_rotation_shifts_mapping(self):
+        region = StartGap(lines=4, gap_write_interval=1)
+        before = region.mapping_snapshot()
+        for _ in range(10):
+            region.note_write(0)
+        assert region.mapping_snapshot() != before
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StartGap(lines=0)
+        with pytest.raises(ConfigError):
+            StartGap(lines=4).device_of(4)
+
+    def test_levelling_spreads_hot_line(self):
+        """A single hot logical line must spread across device slots."""
+        writes = [0] * 2000
+        spread = simulate_levelling(lines=16, write_sequence=writes,
+                                    gap_write_interval=10)
+        hot_slots = [s for s, c in spread.items() if c > 0]
+        assert len(hot_slots) >= 8  # rotation moved the hot line around
+        assert max(spread.values()) < 2000  # no slot absorbed everything
+
+    def test_wear_spread_projection(self):
+        region = StartGap(lines=4)
+        projected = wear_spread(region, {0: 10, 1: 5})
+        assert projected == {0: 10, 1: 5}
+
+
+class TestFlipNWrite:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        physical, data = L.random_line(rng), L.random_line(rng)
+        enc = FlipNWriteEncoder()
+        result = enc.encode(physical, data)
+        assert np.array_equal(enc.decode(result.stored, result.flags), data)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_never_writes_more_than_raw(self, seed):
+        rng = np.random.default_rng(seed)
+        physical, data = L.random_line(rng), L.random_line(rng)
+        result = FlipNWriteEncoder().encode(physical, data)
+        assert result.cells_written_encoded <= result.cells_written_raw
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_half_flip_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        physical, data = L.random_line(rng), L.random_line(rng)
+        assert FlipNWriteEncoder().max_flip_bound_holds(physical, data)
+
+    def test_adversarial_inversion(self):
+        """Writing the complement of the current contents must invert."""
+        physical = L.zero_line()
+        data = L.full_line()
+        result = FlipNWriteEncoder().encode(physical, data)
+        # Inverting stores all-zeros over all-zeros: only flag cells flip.
+        assert result.cells_written_encoded == 64
+        assert result.flags == (1 << 64) - 1

@@ -1,0 +1,72 @@
+"""Structural tests for the remaining experiment modules (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    figure11,
+    figure13,
+    figure14,
+    figure15,
+    figure19,
+    node_sensitivity,
+)
+
+ONE = ("stream",)
+
+
+class TestFigure11Structure:
+    def test_columns_and_gmean_row(self):
+        result = figure11.run_experiment(length=150, workloads=ONE)
+        assert result.headers[0] == "workload"
+        assert result.headers[1] == "DIN"
+        assert result.rows[-1][0] == "gmean"
+        assert result.metrics["baseline"] == 1.0
+        # (1:2) tracks DIN within noise even at tiny scale.
+        assert result.metrics["(1:2)"] == pytest.approx(
+            result.metrics["DIN"], rel=0.1
+        )
+
+
+class TestFigure13Structure:
+    def test_levels_and_monotone_head(self):
+        result = figure13.run_experiment(length=150, workloads=ONE,
+                                         levels=(0, 6))
+        assert result.metrics["ecp6"] >= result.metrics["ecp0"] * 0.99
+
+
+class TestFigure14Structure:
+    def test_fresh_point_is_unity(self):
+        result = figure14.run_experiment(
+            length=150, workloads=ONE, points=(0.0, 1.0)
+        )
+        assert result.metrics["life0"] == 1.0
+        assert result.metrics["life100"] > 0.8
+
+
+class TestFigure15Structure:
+    def test_queue_columns(self):
+        result = figure15.run_experiment(length=150, workloads=ONE,
+                                         sizes=(8, 32))
+        assert "wq8" in result.metrics and "wq32" in result.metrics
+        assert result.metrics["wq32_vs_din"] >= 1.0  # never faster than DIN
+
+
+class TestFigure19Structure:
+    def test_scheme_columns(self):
+        result = figure19.run_experiment(length=150, workloads=ONE)
+        for name in ("VnC", "eager", "WC", "LazyC", "WC+LazyC"):
+            assert name in result.metrics
+        assert result.metrics["VnC"] == 1.0
+        # Cancellation's own contribution is WC relative to eager.
+        assert result.metrics["WC"] >= result.metrics["eager"] * 0.9
+
+
+class TestNodeSensitivityStructure:
+    def test_rows_per_node(self):
+        result = node_sensitivity.run_experiment(
+            length=150, workloads=ONE, nodes=(20.0,)
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "20 nm"

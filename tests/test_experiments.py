@@ -1,0 +1,85 @@
+"""Smoke + shape tests for the experiment harness (small traces).
+
+These run the real experiment code at reduced scale and assert the
+*qualitative* paper shapes (who wins, directionality), not absolute
+numbers — EXPERIMENTS.md records the full-scale quantitative comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    capacity,
+    figure4,
+    figure5,
+    figure12,
+    figure16,
+    figure17,
+    figure18,
+    overhead,
+    table1,
+)
+
+SMALL = dict(length=250, workloads=("mcf", "gemsFDTD"))
+
+
+class TestAnalytic:
+    def test_table1(self):
+        result = table1.run_experiment()
+        assert result.metrics["word-line_rate"] == pytest.approx(0.099, abs=1e-6)
+        assert result.metrics["bit-line_rate"] == pytest.approx(0.115, abs=1e-6)
+        assert result.metrics["wd_onset_nm"] == pytest.approx(54.0, abs=0.5)
+        assert "Table 1" in result.render()
+
+    def test_capacity(self):
+        result = capacity.run_experiment()
+        assert result.metrics["capacity_gain"] == pytest.approx(0.8, abs=0.01)
+        assert result.metrics["big_chip_reduction"] == pytest.approx(0.2, abs=0.02)
+
+    def test_overhead(self):
+        result = overhead.run_experiment()
+        assert result.metrics["preread_bytes"] == pytest.approx(4096, abs=16)
+
+
+class TestSimulated:
+    def test_figure4_shape(self):
+        result = figure4.run_experiment(**SMALL)
+        # Bit-line errors dominate word-line residual errors (the paper's
+        # core motivation), and gemsFDTD sits lowest.
+        assert result.metrics["mean_adjacent_errors"] > result.metrics[
+            "mean_wordline_errors"
+        ]
+        rows = {r[0]: r for r in result.rows}
+        assert rows["gemsFDTD"][3] < rows["mcf"][3]
+
+    def test_figure5_ordering(self):
+        result = figure5.run_experiment(**SMALL)
+        # total >= verification-only >= 1.
+        assert (
+            result.metrics["total_overhead"]
+            >= result.metrics["verification_overhead"]
+            >= 0.0
+        )
+
+    def test_figure12_monotone(self):
+        result = figure12.run_experiment(length=250, workloads=("mcf",),
+                                         levels=(0, 4, 8))
+        assert result.metrics["ecp0"] > result.metrics["ecp4"] >= result.metrics["ecp8"]
+
+    def test_figure16_monotone_in_ratio(self):
+        result = figure16.run_experiment(length=250, workloads=("mcf",))
+        assert (
+            result.metrics["1:2"]
+            >= result.metrics["2:3"]
+            >= result.metrics["3:4"]
+            >= result.metrics["7:8"] * 0.98  # allow simulation noise at the top
+        )
+
+    def test_figure17_18_lifetimes(self):
+        r17 = figure17.run_experiment(length=250, workloads=("mcf",))
+        r18 = figure18.run_experiment(length=250, workloads=("mcf",))
+        assert 0.0 <= r17.metrics["mean_degradation"] < 0.05
+        assert r18.metrics["mean_degradation"] >= r17.metrics["mean_degradation"]
+        # DIMM lifetime remains data-chip-bound despite ECP-chip wear.
+        assert 10.0 * (1.0 - r18.metrics["mean_degradation"]) > 1.0

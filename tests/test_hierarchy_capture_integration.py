@@ -1,0 +1,71 @@
+"""Integration: raw stream -> cache capture -> simulator, end to end.
+
+The paper's full methodology as one pipeline — if any interface between
+the hierarchy, the capture filter, and the engine drifts, this breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import schemes
+from repro.core.system import SDPCMSystem
+from repro.mem.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.traces.analysis import analyse
+from repro.traces.capture import RawAccess, capture
+from repro.traces.profiles import BenchmarkProfile
+from repro.traces.workload import Workload
+
+
+def raw_stream(n: int, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    addr = 0
+    out = []
+    for i in range(n):
+        if i % 3 == 0:
+            addr = int(rng.integers(0, 256)) * 4096
+        else:
+            addr += 8
+        out.append(RawAccess(addr, is_write=bool(rng.random() < 0.3), gap=3))
+    return out
+
+
+@pytest.fixture(scope="module")
+def captured():
+    hierarchy = CacheHierarchy(
+        HierarchyConfig(l1_bytes=4 << 10, l2_bytes=32 << 10, l3_bytes=128 << 10)
+    )
+    return capture(raw_stream(20_000), hierarchy, warmup=2_000)
+
+
+class TestPipeline:
+    def test_capture_produces_filtered_trace(self, captured):
+        assert 0 < len(captured) < 20_000
+
+    def test_captured_trace_is_simulatable(self, captured):
+        profile = BenchmarkProfile(
+            name="cap", suite="t", rpki=1.0, wpki=1.0,
+            working_set_pages=512, seq_fraction=0.5, zipf_s=0.8,
+            flip_fraction=0.12,
+        )
+        workload = Workload("cap", [captured], [profile])
+        config = SystemConfig(cores=1, seed=2).with_scheme(schemes.lazyc())
+        result = SDPCMSystem(config).run(workload)
+        assert result.counters.demand_writes == sum(
+            1 for r in captured if r.is_write
+        )
+
+    def test_capture_reduces_reuse(self, captured):
+        """Caches absorb reuse: the post-cache trace has lower line reuse
+        than the raw stream by construction."""
+        raw_lines = [
+            (a.address // 64) for a in raw_stream(20_000)
+        ]
+        raw_reuse = 1 - len(set(raw_lines)) / len(raw_lines)
+        post = analyse(captured)
+        assert post.line_reuse_fraction < raw_reuse
+
+    def test_write_backs_present(self, captured):
+        assert any(r.is_write for r in captured)

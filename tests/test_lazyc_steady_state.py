@@ -1,0 +1,58 @@
+"""Longer-horizon steady-state checks on LazyCorrection.
+
+Figure 12's claim is not just the instantaneous correction rate but that
+LazyC stays effective as errors accumulate: these tests replay longer
+traces than the unit tests and assert the steady-state properties that
+would break if clearing (demand-write consolidation) or the overflow
+policy regressed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import schemes
+from repro.core.system import simulate
+from tests.conftest import small_config, small_workload
+
+
+@pytest.fixture(scope="module")
+def long_run():
+    wl = small_workload("mcf", cores=2, length=1500)
+    return simulate(small_config(schemes.lazyc()), wl)
+
+
+class TestSteadyState:
+    def test_corrections_stay_rare(self, long_run):
+        """ECP-6 keeps first-level corrections well under baseline's ~1.8
+        even after thousands of writes accumulate errors."""
+        assert long_run.counters.corrections_per_write < 0.4
+
+    def test_most_errors_absorbed(self, long_run):
+        c = long_run.counters
+        assert c.ecp_absorbed_errors > 0
+        absorbed_fraction = c.ecp_absorbed_errors / max(1, c.bitline_errors)
+        assert absorbed_fraction > 0.7
+
+    def test_consolidation_by_demand_writes_happens(self, long_run):
+        """The 'normal write clears accumulated WD errors' path must fire
+        regularly on a write-heavy workload."""
+        assert long_run.counters.ecp_cleared_by_write > 0
+
+    def test_cascades_remain_geometric(self, long_run):
+        """Cascade corrections never exceed first-level corrections by a
+        large factor (geometric decay, Section 3.2/4.2)."""
+        c = long_run.counters
+        assert c.cascade_corrections <= 3 * max(1, c.corrections)
+        assert c.cascade_truncations == 0  # cap unreachable at real rates
+
+    def test_error_rate_stationary(self):
+        """The per-write adjacent-line error rate is stable between the
+        first and second half of a run (no drift in the injection model)."""
+        wl_short = small_workload("stream", cores=2, length=400)
+        wl_long = small_workload("stream", cores=2, length=1600)
+        a = simulate(small_config(schemes.lazyc()), wl_short)
+        b = simulate(small_config(schemes.lazyc()), wl_long)
+        assert a.counters.avg_errors_per_adjacent_line == pytest.approx(
+            b.counters.avg_errors_per_adjacent_line, rel=0.2
+        )

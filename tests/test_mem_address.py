@@ -1,0 +1,69 @@
+"""Tests for the Figure 6 address mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import LINE_BYTES, PAGES_PER_STRIP, PAGE_BYTES
+from repro.errors import DeviceError
+from repro.mem.address import AddressMapper
+from repro.pcm.array import LineAddress
+
+
+@pytest.fixture
+def mapper() -> AddressMapper:
+    return AddressMapper(banks=16, rows_per_bank=1024)
+
+
+class TestFrameMapping:
+    def test_interleaving(self, mapper):
+        """Consecutive frames land in consecutive banks (Figure 6 / [17])."""
+        banks = [mapper.frame_to_bank_row(f)[0] for f in range(16)]
+        assert banks == list(range(16))
+
+    def test_adjacent_frames_16_apart(self, mapper):
+        assert mapper.adjacent_frames(100) == [84, 116]
+        assert mapper.adjacent_frames(5) == [21]  # top edge
+
+    def test_adjacency_is_row_adjacency(self, mapper):
+        f = 100
+        bank, row = mapper.frame_to_bank_row(f)
+        for nf in mapper.adjacent_frames(f):
+            nbank, nrow = mapper.frame_to_bank_row(nf)
+            assert nbank == bank
+            assert abs(nrow - row) == 1
+
+    @given(st.integers(0, 16 * 1024 - 1))
+    def test_roundtrip(self, frame):
+        mapper = AddressMapper(banks=16, rows_per_bank=1024)
+        bank, row = mapper.frame_to_bank_row(frame)
+        assert mapper.bank_row_to_frame(bank, row) == frame
+
+    def test_strip_is_row(self, mapper):
+        for frame in (0, 15, 16, 31, 160):
+            strip = mapper.strip_of_frame(frame)
+            _, row = mapper.frame_to_bank_row(frame)
+            assert strip == row
+
+    def test_out_of_range(self, mapper):
+        with pytest.raises(DeviceError):
+            mapper.frame_to_bank_row(16 * 1024)
+
+
+class TestLineMapping:
+    def test_line_address(self, mapper):
+        addr = mapper.line_address(17, 5)
+        assert addr == LineAddress(bank=1, row=1, line=5)
+
+    def test_physical_byte_address(self, mapper):
+        byte_addr = 17 * PAGE_BYTES + 5 * LINE_BYTES
+        assert mapper.physical_to_line_address(byte_addr) == LineAddress(1, 1, 5)
+
+    def test_bad_line_rejected(self, mapper):
+        with pytest.raises(DeviceError):
+            mapper.line_address(0, 64)
+
+    def test_non_16_bank_layout_rejected(self):
+        with pytest.raises(DeviceError):
+            AddressMapper(banks=8, rows_per_bank=100)

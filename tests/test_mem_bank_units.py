@@ -1,0 +1,84 @@
+"""Unit tests for bank state and in-flight op bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.bank import BankState, InFlightOp
+from repro.mem.request import (
+    PausedWrite,
+    PrereadSlot,
+    Request,
+    RequestKind,
+    WriteEntry,
+)
+from repro.pcm.array import LineAddress
+
+
+def entry(row=5, line=0):
+    req = Request(RequestKind.WRITE, 0, LineAddress(0, row, line), 0)
+    return WriteEntry(req)
+
+
+class TestInFlightOp:
+    def test_progress_and_remaining(self):
+        op = InFlightOp(kind=RequestKind.WRITE, start=100, latency=800)
+        assert op.end == 900
+        assert op.remaining(100) == 800
+        assert op.remaining(500) == 400
+        assert op.remaining(1200) == 0
+        assert op.progress(100) == 0.0
+        assert op.progress(500) == pytest.approx(0.5)
+        assert op.progress(1200) == 1.0
+
+    def test_zero_latency_progress(self):
+        op = InFlightOp(kind=RequestKind.READ, start=0, latency=0)
+        assert op.progress(0) == 1.0
+
+
+class TestBankState:
+    def test_wq_full(self):
+        bank = BankState(index=0, wq_capacity=2)
+        assert not bank.wq_full
+        bank.write_q.extend([entry(1), entry(2)])
+        assert bank.wq_full
+
+    def test_find_write_returns_youngest(self):
+        bank = BankState(index=0, wq_capacity=8)
+        first, second = entry(5), entry(5)
+        bank.write_q.extend([first, entry(6), second])
+        found = bank.find_write((0, 5, 0))
+        assert found is second
+
+    def test_find_write_misses(self):
+        bank = BankState(index=0, wq_capacity=8)
+        bank.write_q.append(entry(5))
+        assert bank.find_write((0, 9, 0)) is None
+
+    def test_busy_reflects_current(self):
+        bank = BankState(index=0, wq_capacity=8)
+        assert not bank.busy
+        bank.current = InFlightOp(kind=RequestKind.READ, start=0, latency=400)
+        assert bank.busy
+
+
+class TestWriteEntry:
+    def test_pending_preread_order(self):
+        e = entry()
+        a = PrereadSlot(addr=LineAddress(0, 4, 0))
+        b = PrereadSlot(addr=LineAddress(0, 6, 0))
+        e.slots = [a, b]
+        assert e.pending_preread() is a
+        a.done = True
+        assert e.pending_preread() is b
+        b.done = True
+        assert e.pending_preread() is None
+        assert e.prereads_complete()
+
+    def test_paused_state_holds_commit(self):
+        called = []
+        e = entry()
+        e.paused = PausedWrite(commit=lambda: called.append(1), remaining=300)
+        e.paused.commit()
+        assert called == [1]
+        assert e.paused.remaining == 300

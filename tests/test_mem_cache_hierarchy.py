@@ -1,0 +1,131 @@
+"""Tests for the set-associative cache and the Table 2 hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.traces.capture import RawAccess, capture, measured_rpki_wpki
+
+
+class TestCache:
+    def make(self, size=1024, ways=2):
+        return Cache("t", size_bytes=size, ways=ways)
+
+    def test_miss_then_hit(self):
+        c = self.make()
+        hit, _ = c.access(0x1000, False)
+        assert not hit
+        hit, _ = c.access(0x1000, False)
+        assert hit
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        c = self.make()
+        c.access(0x1000, False)
+        hit, _ = c.access(0x103F, False)
+        assert hit
+
+    def test_lru_eviction(self):
+        c = self.make(size=128, ways=1)  # 2 sets, direct mapped
+        c.access(0, False)
+        c.access(128, False)   # same set (line 2, set 0), evicts line 0
+        hit, _ = c.access(0, False)
+        assert not hit
+
+    def test_dirty_writeback(self):
+        c = self.make(size=128, ways=1)
+        c.access(0, True)               # dirty
+        hit, wb = c.access(128, False)  # evicts dirty line 0
+        assert not hit
+        assert wb == 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = self.make(size=128, ways=1)
+        c.access(0, False)
+        _, wb = c.access(128, False)
+        assert wb is None
+
+    def test_flush_dirty(self):
+        c = self.make()
+        c.access(0, True)
+        c.access(64, False)
+        dirty = c.flush_dirty()
+        assert dirty == [0]
+        assert not c.contains(0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            Cache("bad", size_bytes=1000, ways=3)
+
+
+class TestHierarchy:
+    def test_first_access_reaches_memory(self):
+        h = CacheHierarchy()
+        cycles, refs = h.access(0x4000, False)
+        assert len(refs) == 1 and not refs[0].is_write
+
+    def test_second_access_hits_l1(self):
+        h = CacheHierarchy()
+        h.access(0x4000, False)
+        cycles, refs = h.access(0x4000, False)
+        assert cycles == h.config.l1_hit_cycles
+        assert refs == []
+
+    def test_dirty_eviction_chain_reaches_memory(self):
+        """Writing a long stream must eventually push write-backs to memory."""
+        small = HierarchyConfig(
+            l1_bytes=1 << 10, l2_bytes=2 << 10, l3_bytes=4 << 10
+        )
+        h = CacheHierarchy(small)
+        refs = []
+        for i in range(1000):
+            _, r = h.access(i * 64, True)
+            refs.extend(r)
+        assert any(r.is_write for r in refs)
+
+    def test_drain_emits_dirty_lines(self):
+        h = CacheHierarchy(HierarchyConfig(l1_bytes=1 << 10, l2_bytes=2 << 10,
+                                           l3_bytes=4 << 10))
+        h.access(0, True)
+        refs = h.drain()
+        assert any(r.is_write and r.address == 0 for r in refs)
+
+
+class TestCapture:
+    def test_capture_filters_hits(self):
+        stream = [RawAccess(0x1000, False, gap=3)] * 10
+        records = capture(stream)
+        # Only the first access misses all the way to memory.
+        assert len(records) == 1
+        assert not records[0].is_write
+
+    def test_warmup_suppresses_records(self):
+        stream = [RawAccess(i * 64, False) for i in range(10)]
+        records = capture(stream, warmup=10)
+        assert records == []
+
+    def test_gap_accumulation(self):
+        stream = [
+            RawAccess(0x1000, False, gap=5),
+            RawAccess(0x1000, False, gap=7),   # L1 hit
+            RawAccess(0x9000, False, gap=2),   # miss
+        ]
+        records = capture(stream)
+        assert records[0].gap == 5
+        # 1 (first access instr) + 7 + 1 (hit instr) + 2
+        assert records[1].gap == 11
+
+    def test_rpki_wpki(self):
+        from repro.traces.record import TraceRecord
+
+        records = [
+            TraceRecord(False, 0, 0),
+            TraceRecord(False, 64, 0),
+            TraceRecord(True, 128, 0),
+        ]
+        rpki, wpki = measured_rpki_wpki(records, instructions=1000)
+        assert rpki == 2.0 and wpki == 1.0

@@ -1,0 +1,34 @@
+"""Tests for the ASCII bar renderer used by the CLI compare output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.report import format_bars
+
+
+class TestFormatBars:
+    def test_bars_scale_to_max(self):
+        text = format_bars("T", [("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        a_line = next(l for l in lines if l.lstrip().startswith("a"))
+        b_line = next(l for l in lines if l.lstrip().startswith("b"))
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_values_printed(self):
+        text = format_bars("T", [("x", 1.234)])
+        assert "1.23" in text
+
+    def test_zero_values(self):
+        text = format_bars("T", [("x", 0.0)])
+        assert "#" not in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_bars("T", [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bars("T", [("x", -1.0)])

@@ -1,0 +1,78 @@
+"""End-to-end semantic guarantees per scheme (beyond ordering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import schemes
+from repro.core.system import simulate
+from tests.conftest import small_config, small_workload
+
+
+@pytest.fixture(scope="module")
+def runs():
+    wl = small_workload("mcf", cores=2, length=400)
+    names = ["DIN", "baseline", "LazyC", "LazyC+PreRead", "(1:2)"]
+    return {
+        name: simulate(small_config(schemes.by_name(name)), wl)
+        for name in names
+    }
+
+
+class TestDINGuarantees:
+    def test_no_vnc_traffic_at_all(self, runs):
+        c = runs["DIN"].counters
+        assert c.verifications == 0
+        assert c.pre_write_reads == 0
+        assert c.corrections == 0
+        assert c.bitline_errors == 0
+
+
+class TestBaselineGuarantees:
+    def test_every_write_verified_twice_interior(self, runs):
+        c = runs["baseline"].counters
+        # ~2 verifications per write; bank-edge rows (row 0) verify only
+        # once and low rows are popular because allocation starts there.
+        assert c.verifications >= 1.6 * c.demand_writes
+
+    def test_errors_never_buffered(self, runs):
+        c = runs["baseline"].counters
+        assert c.ecp_absorbed_errors == 0
+        assert c.ecp_entries_programmed == 0
+
+
+class TestLazyCGuarantees:
+    def test_correction_reduction_vs_baseline(self, runs):
+        base = runs["baseline"].counters
+        lazy = runs["LazyC"].counters
+        assert lazy.corrections < 0.2 * max(1, base.corrections)
+
+    def test_same_error_detection_as_baseline(self, runs):
+        """LazyC changes correction, not detection: verification counts
+        match baseline's for the same trace."""
+        assert (
+            runs["LazyC"].counters.verifications
+            == runs["baseline"].counters.verifications
+        )
+
+
+class TestPreReadGuarantees:
+    def test_critical_path_reads_reduced(self, runs):
+        base = runs["baseline"].counters
+        pre = runs["LazyC+PreRead"].counters
+        assert pre.pre_write_reads < base.pre_write_reads
+        assert pre.preread_hits + pre.preread_forwards > 0
+
+
+class TestIsolationGuarantees:
+    def test_1_2_writes_cost_plain_writes(self, runs):
+        """Without VnC, (1:2) write busy time per write matches DIN's."""
+        din = runs["DIN"]
+        iso = runs["(1:2)"]
+        din_per_write = (
+            din.counters.total_write_busy_cycles / din.counters.demand_writes
+        )
+        iso_per_write = (
+            iso.counters.total_write_busy_cycles / iso.counters.demand_writes
+        )
+        assert iso_per_write == pytest.approx(din_per_write, rel=0.1)

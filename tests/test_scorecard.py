@@ -1,0 +1,17 @@
+"""Tests for the reproduction scorecard."""
+
+from __future__ import annotations
+
+from repro.experiments import scorecard
+
+
+class TestScorecard:
+    def test_all_checks_pass_at_small_scale(self):
+        result = scorecard.run_experiment(length=250, workloads=("mcf", "stream"))
+        assert result.metrics["passed"] == result.metrics["checks"]
+        assert result.metrics["checks"] >= 12
+
+    def test_render_contains_verdicts(self):
+        result = scorecard.run_experiment(length=200, workloads=("stream",))
+        text = result.render()
+        assert "PASS" in text and "EXACT" in text and "DIVERGE" in text

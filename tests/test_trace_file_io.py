@@ -1,0 +1,90 @@
+"""Tests for trace serialisation round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.traces import file_io
+from repro.traces.record import TraceRecord
+from repro.traces.synthetic import generate_trace
+
+records_strategy = st.lists(
+    st.builds(
+        TraceRecord,
+        is_write=st.booleans(),
+        address=st.integers(0, 1 << 30).map(lambda a: a * 64),
+        gap=st.integers(0, 10_000),
+    ),
+    max_size=50,
+)
+
+
+class TestRoundTrips:
+    @given(records_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_npz_roundtrip(self, records):
+        import tempfile, pathlib
+
+        with tempfile.TemporaryDirectory() as d:
+            path = pathlib.Path(d) / "t.npz"
+            file_io.save_npz(records, path)
+            assert file_io.load_npz(path) == records
+
+    @given(records_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_text_roundtrip(self, records):
+        import tempfile, pathlib
+
+        with tempfile.TemporaryDirectory() as d:
+            path = pathlib.Path(d) / "t.trace"
+            file_io.save_text(records, path)
+            assert file_io.load_text(path) == records
+
+    def test_dispatch_by_extension(self, tmp_path):
+        records = generate_trace("wrf", 50, seed=2)
+        file_io.save(records, tmp_path / "a.npz")
+        file_io.save(records, tmp_path / "a.trace")
+        assert file_io.load(tmp_path / "a.npz") == records
+        assert file_io.load(tmp_path / "a.trace") == records
+
+    def test_real_trace_roundtrip(self, tmp_path):
+        records = generate_trace("mcf", 500, seed=1)
+        file_io.save_npz(records, tmp_path / "mcf.npz")
+        loaded = file_io.load_npz(tmp_path / "mcf.npz")
+        assert loaded == records
+
+
+class TestTextFormat:
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\nR 0x1000 5\nW 0x2000 0\n")
+        records = file_io.load_text(path)
+        assert len(records) == 2
+        assert not records[0].is_write and records[1].is_write
+
+    def test_byte_addresses_aligned_down(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("R 0x1007 0\n")
+        assert file_io.load_text(path)[0].address == 0x1000
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("X 0x1000 5\n")
+        with pytest.raises(TraceError):
+            file_io.load_text(path)
+
+    def test_bad_number_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("R zzz 5\n")
+        with pytest.raises(TraceError):
+            file_io.load_text(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, is_write=np.array([True]), address=np.array([0]))
+        with pytest.raises(TraceError):
+            file_io.load_npz(path)

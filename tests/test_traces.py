@@ -1,0 +1,166 @@
+"""Tests for profiles (Table 3), synthetic traces, and workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LINE_BYTES
+from repro.errors import TraceError
+from repro.traces.profiles import PROFILES, WORKLOAD_ORDER, memory_intensive, profile
+from repro.traces.record import TraceRecord
+from repro.traces.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.traces.workload import (
+    homogeneous_workload,
+    mixed_workload,
+    paper_workloads,
+)
+
+TABLE3 = {
+    "bwaves": (17.45, 0.47),
+    "gemsFDTD": (9.62, 6.67),
+    "lbm": (14.59, 7.29),
+    "leslie3d": (2.39, 0.04),
+    "mcf": (22.38, 20.47),
+    "wrf": (0.14, 0.02),
+    "xalan": (0.13, 0.13),
+    "zeusmp": (4.11, 3.36),
+    "stream": (2.32, 2.32),
+}
+
+
+class TestProfiles:
+    def test_table3_values(self):
+        for name, (rpki, wpki) in TABLE3.items():
+            p = profile(name)
+            assert p.rpki == rpki and p.wpki == wpki
+
+    def test_all_ordered_workloads_exist(self):
+        assert set(WORKLOAD_ORDER) == set(PROFILES)
+
+    def test_unknown_profile(self):
+        with pytest.raises(TraceError):
+            profile("nope")
+
+    def test_memory_intensive_includes_mcf(self):
+        names = memory_intensive()
+        assert "mcf" in names and "gemsFDTD" in names
+        assert "wrf" not in names
+
+    def test_gemsfdtd_flips_fewest_bits(self):
+        """Section 6.4: gemsFDTD changes fewer bits per write."""
+        gems = profile("gemsFDTD").flip_fraction
+        assert all(
+            gems < p.flip_fraction
+            for n, p in PROFILES.items()
+            if n != "gemsFDTD"
+        )
+
+    def test_mean_gap(self):
+        assert profile("mcf").mean_gap == pytest.approx(1000 / 42.85, rel=1e-3)
+
+
+class TestRecord:
+    def test_valid(self):
+        r = TraceRecord(True, 0x1000, 5)
+        assert r.page == 1 and r.line_address == 64
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(False, 0x1001, 0)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(False, 0x1000, -1)
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = generate_trace("mcf", 500, seed=3)
+        b = generate_trace("mcf", 500, seed=3)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = generate_trace("mcf", 500, seed=3)
+        b = generate_trace("mcf", 500, seed=4)
+        assert a != b
+
+    def test_write_fraction_matches_profile(self):
+        trace = generate_trace("mcf", 8000, seed=1)
+        writes = sum(r.is_write for r in trace)
+        expected = profile("mcf").write_fraction
+        assert writes / len(trace) == pytest.approx(expected, abs=0.03)
+
+    def test_mean_gap_matches_profile(self):
+        trace = generate_trace("stream", 8000, seed=1)
+        mean_gap = sum(r.gap for r in trace) / len(trace)
+        assert mean_gap == pytest.approx(profile("stream").mean_gap - 1, rel=0.1)
+
+    def test_addresses_within_working_set(self):
+        bench = profile("xalan")
+        trace = generate_trace("xalan", 2000, seed=1, base_page=0)
+        max_page = max(r.page for r in trace)
+        assert max_page < bench.working_set_pages
+
+    def test_streaming_benchmark_is_sequential(self):
+        trace = generate_trace("stream", 2000, seed=1)
+        seq = sum(
+            1
+            for a, b in zip(trace, trace[1:])
+            if b.address - a.address == LINE_BYTES
+        )
+        assert seq / len(trace) > 0.8
+
+    def test_pointer_benchmark_is_not_sequential(self):
+        trace = generate_trace("mcf", 2000, seed=1)
+        seq = sum(
+            1
+            for a, b in zip(trace, trace[1:])
+            if b.address - a.address == LINE_BYTES
+        )
+        assert seq / len(trace) < 0.35
+
+    @given(st.sampled_from(WORKLOAD_ORDER), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_alignment_property(self, bench, seed):
+        for r in generate_trace(bench, 200, seed=seed):
+            assert r.address % LINE_BYTES == 0
+            assert r.gap >= 0
+
+
+class TestWorkload:
+    def test_homogeneous_shape(self):
+        wl = homogeneous_workload("lbm", cores=4, length=100)
+        assert wl.cores == 4
+        assert all(len(t) == 100 for t in wl.traces)
+        assert wl.total_references == 400
+        assert wl.flip_fractions == [profile("lbm").flip_fraction] * 4
+
+    def test_cores_have_distinct_traces(self):
+        wl = homogeneous_workload("lbm", cores=2, length=200)
+        assert wl.traces[0] != wl.traces[1]
+
+    def test_cores_have_disjoint_address_spaces(self):
+        wl = homogeneous_workload("lbm", cores=2, length=200)
+        pages0 = {r.page for r in wl.traces[0]}
+        pages1 = {r.page for r in wl.traces[1]}
+        assert not (pages0 & pages1)
+
+    def test_mixed_workload(self):
+        wl = mixed_workload(["mcf", "wrf"], length=50)
+        assert wl.cores == 2
+        assert wl.profiles[0].name == "mcf"
+        assert wl.flip_fractions[0] != wl.flip_fractions[1]
+
+    def test_paper_workloads_complete(self):
+        wls = paper_workloads(cores=1, length=10)
+        assert list(wls) == WORKLOAD_ORDER
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(TraceError):
+            mixed_workload([], length=10)
+
+    def test_total_instructions(self):
+        wl = homogeneous_workload("wrf", cores=1, length=50)
+        expected = 50 + sum(r.gap for r in wl.traces[0])
+        assert wl.total_instructions == expected

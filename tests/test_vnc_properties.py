@@ -1,0 +1,151 @@
+"""Property-based tests on the VnC write path (hypothesis).
+
+Random write sequences against a small array must preserve the reliability
+invariant regardless of scheme, interleaving, cancellations, or ECP sizing:
+after every committed operation, a used line's disturbed cells are exactly
+the cells its ECP entries cover (LazyC) or empty (correcting schemes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import DisturbanceConfig, SchemeConfig, TimingConfig
+from repro.core.vnc import VnCExecutor
+from repro.ecp.chip import ECPChip
+from repro.mem.request import Request, RequestKind, WriteEntry
+from repro.pcm import line as L
+from repro.pcm.array import LineAddress, PCMArray
+from repro.stats.counters import Counters
+
+ROWS = 24
+
+
+def build(scheme: SchemeConfig, seed: int, p_bitline: float):
+    array = PCMArray(banks=16, rows_per_bank=ROWS, seed=seed)
+    ecp = ECPChip(entries_per_line=scheme.ecp_entries)
+    executor = VnCExecutor(
+        array=array,
+        ecp=ecp,
+        scheme=scheme,
+        timing=TimingConfig(),
+        disturbance=DisturbanceConfig(p_bitline=p_bitline),
+        counters=Counters(),
+        rng=np.random.default_rng(seed),
+        flip_fractions=[0.13],
+    )
+    return executor, array, ecp
+
+
+def do_write(executor, bank, row, line, cancel_progress=None):
+    request = Request(
+        RequestKind.WRITE, 0, LineAddress(bank, row, line), 0, nm_tag=(1, 1)
+    )
+    entry = WriteEntry(request, slots=executor.preread_slots(request))
+    op = executor.execute(entry, 0)
+    if cancel_progress is not None:
+        op.cancel(cancel_progress)
+    else:
+        op.commit()
+
+
+def audit(executor, array, ecp) -> None:
+    """Every disturbed bit must be covered by ECP unless marked uncovered."""
+    for (bank, row), state in array._rows.items():
+        for line in range(64):
+            disturbed = state.disturbed[line]
+            if not L.popcount(disturbed):
+                continue
+            key = (bank, row, line)
+            positions = set(L.bit_positions(disturbed))
+            ecp_line = ecp.peek(key)
+            covered = (
+                {e.position for e in ecp_line.entries} if ecp_line else set()
+            )
+            pending = executor.uncovered.get(key)
+            pending_positions = (
+                set(L.bit_positions(pending)) if pending is not None else set()
+            )
+            assert positions <= covered | pending_positions
+
+
+writes = st.lists(
+    st.tuples(
+        st.integers(0, 3),          # bank
+        st.integers(1, ROWS - 2),   # row
+        st.integers(0, 3),          # line
+        st.floats(0.0, 1.0),        # cancel draw
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestInvariantUnderRandomSequences:
+    @given(writes, st.integers(0, 50))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lazyc_always_covered(self, script, seed):
+        executor, array, ecp = build(
+            SchemeConfig(lazy_correction=True, ecp_entries=6), seed, 0.115
+        )
+        for bank, row, line, _ in script:
+            do_write(executor, bank, row, line)
+        audit(executor, array, ecp)
+
+    @given(writes, st.integers(0, 50))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_baseline_leaves_nothing(self, script, seed):
+        executor, array, ecp = build(SchemeConfig(), seed, 0.115)
+        for bank, row, line, _ in script:
+            do_write(executor, bank, row, line)
+        for (bank, row), state in array._rows.items():
+            assert int(np.count_nonzero(state.disturbed)) == 0
+
+    @given(writes, st.integers(0, 50))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cancellations_tracked_as_uncovered(self, script, seed):
+        """Cancelled partial writes may leave flips, but only ones the
+        executor tracks in its uncovered map (retries then resolve them)."""
+        executor, array, ecp = build(
+            SchemeConfig(lazy_correction=True, ecp_entries=6), seed, 0.115
+        )
+        for bank, row, line, cancel_draw in script:
+            cancel = cancel_draw if cancel_draw < 0.4 else None
+            do_write(executor, bank, row, line, cancel_progress=cancel)
+        audit(executor, array, ecp)
+
+    @given(writes, st.integers(0, 50))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_stored_never_overlaps_disturbed(self, script, seed):
+        executor, array, ecp = build(
+            SchemeConfig(lazy_correction=True, ecp_entries=2), seed, 0.3
+        )
+        for bank, row, line, _ in script:
+            do_write(executor, bank, row, line)
+        for (bank, row), state in array._rows.items():
+            assert int(np.count_nonzero(state.stored & state.disturbed)) == 0
+
+    @given(writes, st.integers(0, 30))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_latency_always_bounded(self, script, seed):
+        """Composite op latency stays within the analytic worst case."""
+        executor, array, ecp = build(SchemeConfig(), seed, 0.115)
+        timing = TimingConfig()
+        # write (<=4 SET rounds + wl pass) + 2 pre + 2 post reads + cascades.
+        upper = 4 * timing.set_cycles + timing.reset_cycles + 4 * timing.read_cycles
+        upper += 40 * (timing.read_cycles + 4 * timing.reset_cycles)
+        for bank, row, line, _ in script:
+            request = Request(
+                RequestKind.WRITE, 0, LineAddress(bank, row, line), 0
+            )
+            entry = WriteEntry(request, slots=executor.preread_slots(request))
+            op = executor.execute(entry, 0)
+            assert timing.reset_cycles <= op.latency <= upper
+            op.commit()
