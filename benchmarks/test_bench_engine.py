@@ -1,0 +1,41 @@
+"""CI smoke benchmark for the perf engine's result cache.
+
+Runs one simulation cell cold, then again against the warm cache, and
+asserts the hit path is at least 5x faster (in practice it is orders of
+magnitude).  Uses a private temporary cache directory so it neither reads
+from nor pollutes the user's ~/.cache/repro.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import schemes
+from repro.experiments import common
+from repro.perf.cache import ResultCache
+from repro.perf.engine import CellRunner
+
+MIN_SPEEDUP = 5.0
+
+
+def test_bench_engine_cache_speedup(tmp_path):
+    runner = CellRunner(jobs=1, cache=ResultCache(tmp_path, enabled=True))
+    spec = common.cell("mcf", schemes.baseline(), length=400, cores=4)
+
+    start = time.perf_counter()
+    cold = runner.run_cells([spec])[0]
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = runner.run_cells([spec])[0]
+    warm_s = time.perf_counter() - start
+
+    assert warm.cycles == cold.cycles
+    assert warm.per_core_cpi == cold.per_core_cpi
+    speedup = cold_s / max(warm_s, 1e-9)
+    print(f"\ncold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms, "
+          f"{speedup:.0f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"cache hit only {speedup:.1f}x faster than simulation "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s)"
+    )

@@ -48,6 +48,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiment", help="run paper experiments by name")
     exp.add_argument("names", nargs="+")
+    exp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation cells (default REPRO_JOBS "
+        "or the CPU count)",
+    )
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=("stats", "clear"))
 
     gen = sub.add_parser("gen-trace", help="generate and save a workload trace")
     gen.add_argument("workload", choices=WORKLOAD_ORDER)
@@ -141,10 +151,34 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(names: List[str]) -> int:
+def _cmd_experiment(names: List[str], jobs: Optional[int] = None) -> int:
     from .experiments import runner
 
-    return runner.main(names)
+    argv = ["--jobs", str(jobs)] if jobs is not None else []
+    return runner.main(argv + names)
+
+
+def _cmd_cache(action: str) -> int:
+    from .perf.cache import ResultCache
+    from .perf.engine import STATS
+
+    cache = ResultCache()
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    info = cache.info()
+    rows = [
+        ["directory", info.root],
+        ["enabled", info.enabled],
+        ["entries", info.entries],
+        ["size (KiB)", info.bytes / 1024.0],
+        ["session cache hits", STATS.cache_hits],
+        ["session simulated", STATS.simulated],
+        ["session deduplicated", STATS.deduplicated],
+    ]
+    print(format_table("result cache", ["metric", "value"], rows))
+    return 0
 
 
 def _cmd_gen_trace(args: argparse.Namespace) -> int:
@@ -179,7 +213,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.names)
+        return _cmd_experiment(args.names, jobs=args.jobs)
+    if args.command == "cache":
+        return _cmd_cache(args.action)
     if args.command == "gen-trace":
         return _cmd_gen_trace(args)
     if args.command == "analyze":

@@ -16,18 +16,14 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..config import DisturbanceConfig, SystemConfig
+from ..config import DisturbanceConfig
 from ..core import schemes
 from ..core.results import geometric_mean
-from ..core.system import SDPCMSystem
 from .common import (
-    DEFAULT_SEED,
     ExperimentResult,
-    core_count,
+    cell,
     paper_workload_names,
-    run,
-    trace_length,
-    workload,
+    run_cells,
 )
 
 DEFAULT_WORKLOADS = ("gemsFDTD", "lbm", "mcf", "stream")
@@ -43,10 +39,15 @@ def run_ecp_density_ablation(
         headers=["workload", "low-density ECP (SD-PCM)", "super dense ECP (naive)"],
     )
     low, dense = [], []
-    for bench in paper_workload_names(workloads or DEFAULT_WORKLOADS):
-        base = run(bench, schemes.baseline(), length=length)
-        a = run(bench, schemes.lazyc(), length=length)
-        b = run(bench, schemes.lazyc_dense_ecp(), length=length)
+    benches = paper_workload_names(workloads or DEFAULT_WORKLOADS)
+    specs = [
+        cell(bench, factory(), length=length)
+        for bench in benches
+        for factory in (schemes.baseline, schemes.lazyc, schemes.lazyc_dense_ecp)
+    ]
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        base, a, b = next(cells), next(cells), next(cells)
         result.rows.append(
             [bench, a.speedup_over(base), b.speedup_over(base)]
         )
@@ -72,12 +73,19 @@ def run_read_priority_ablation(
         headers=["workload", "LazyC (bursty)", "WC+LazyC", "WP+LazyC"],
     )
     cols: dict = {"LazyC": [], "WC+LazyC": [], "WP+LazyC": []}
-    for bench in paper_workload_names(workloads or DEFAULT_WORKLOADS):
-        base = run(bench, schemes.baseline(), length=length)
+    benches = paper_workload_names(workloads or DEFAULT_WORKLOADS)
+    specs = []
+    for bench in benches:
+        specs.append(cell(bench, schemes.baseline(), length=length))
+        specs.extend(
+            cell(bench, schemes.by_name(name), length=length) for name in cols
+        )
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        base = next(cells)
         row: list = [bench]
         for name in cols:
-            res = run(bench, schemes.by_name(name), length=length)
-            speedup = res.speedup_over(base)
+            speedup = next(cells).speedup_over(base)
             row.append(speedup)
             cols[name].append(speedup)
         result.rows.append(row)
@@ -100,18 +108,18 @@ def run_din_ablation(
         title="Ablation: DIN word-line encoding (residual WL errors per write)",
         headers=["workload", "with DIN", "without DIN"],
     )
-    length = length or trace_length()
-    cores = core_count()
     with_din, without = [], []
-    for bench in paper_workload_names(workloads or DEFAULT_WORKLOADS):
-        on = run(bench, schemes.baseline(), length=length)
-        config = SystemConfig(
-            cores=cores,
-            scheme=schemes.baseline(),
-            seed=DEFAULT_SEED,
-            disturbance=DisturbanceConfig(din_residual_scale=1.0),
+    benches = paper_workload_names(workloads or DEFAULT_WORKLOADS)
+    no_din = DisturbanceConfig(din_residual_scale=1.0)
+    specs = []
+    for bench in benches:
+        specs.append(cell(bench, schemes.baseline(), length=length))
+        specs.append(
+            cell(bench, schemes.baseline(), length=length, disturbance=no_din)
         )
-        off = SDPCMSystem(config).run(workload(bench, length, cores, DEFAULT_SEED))
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        on, off = next(cells), next(cells)
         result.rows.append(
             [bench, on.counters.avg_errors_wordline, off.counters.avg_errors_wordline]
         )
@@ -145,21 +153,19 @@ def run_weak_cell_ablation(
         title="Ablation: weak-cell fraction (WD errors per adjacent line)",
         headers=["workload"] + [f"f={f:g}" for f in fractions],
     )
-    length = length or trace_length()
-    cores = core_count()
     sums = [0.0] * len(fractions)
     names = paper_workload_names(workloads or DEFAULT_WORKLOADS)
+    specs = [
+        cell(bench, schemes.baseline(), length=length,
+             disturbance=DisturbanceConfig(weak_cell_fraction=fraction))
+        for bench in names
+        for fraction in fractions
+    ]
+    cells = iter(run_cells(specs))
     for bench in names:
         row: list = [bench]
-        for i, fraction in enumerate(fractions):
-            config = SystemConfig(
-                cores=cores,
-                scheme=schemes.baseline(),
-                seed=DEFAULT_SEED,
-                disturbance=DisturbanceConfig(weak_cell_fraction=fraction),
-            )
-            res = SDPCMSystem(config).run(workload(bench, length, cores, DEFAULT_SEED))
-            value = res.counters.avg_errors_per_adjacent_line
+        for i, _fraction in enumerate(fractions):
+            value = next(cells).counters.avg_errors_per_adjacent_line
             row.append(value)
             sums[i] += value
         result.rows.append(row)

@@ -6,6 +6,11 @@ simulator; this pure-Python reproduction defaults to
 ``REPRO_CORES`` (default 8) cores.  All reported quantities are
 per-reference rates or CPI ratios, which are stable at this scale; raise
 the env vars for tighter confidence intervals.
+
+Every simulation cell goes through :func:`cell`/:func:`run_cells`, which
+delegate to the :mod:`repro.perf` engine: identical cells are simulated
+once, results are cached on disk across runs, and cold cells fan out over
+a process pool when ``--jobs``/``REPRO_JOBS`` allows.
 """
 
 from __future__ import annotations
@@ -16,13 +21,15 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
 from ..config import (
+    DisturbanceConfig,
     MemoryConfig,
     SchemeConfig,
     SystemConfig,
     TimingConfig,
 )
 from ..core.results import SimulationResult, geometric_mean
-from ..core.system import SDPCMSystem
+from ..perf.cellspec import CellSpec
+from ..perf.engine import get_runner
 from ..stats.report import format_table
 from ..traces.profiles import WORKLOAD_ORDER
 from ..traces.workload import Workload, homogeneous_workload
@@ -30,14 +37,26 @@ from ..traces.workload import Workload, homogeneous_workload
 DEFAULT_SEED = 1
 
 
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+
+
 def trace_length(default: int = 1200) -> int:
     """Per-core trace length, overridable via ``REPRO_TRACE_LEN``."""
-    return int(os.environ.get("REPRO_TRACE_LEN", default))
+    return _env_int("REPRO_TRACE_LEN", default)
 
 
 def core_count(default: int = 8) -> int:
     """Core count, overridable via ``REPRO_CORES``."""
-    return int(os.environ.get("REPRO_CORES", default))
+    return _env_int("REPRO_CORES", default)
 
 
 @lru_cache(maxsize=64)
@@ -50,6 +69,44 @@ def paper_workload_names(subset: Optional[Sequence[str]] = None) -> List[str]:
     return list(subset) if subset else list(WORKLOAD_ORDER)
 
 
+def cell(
+    bench: str,
+    scheme: SchemeConfig,
+    length: Optional[int] = None,
+    cores: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    write_queue_entries: Optional[int] = None,
+    lifetime_fraction: float = 0.0,
+    disturbance: Optional[DisturbanceConfig] = None,
+    timing: Optional[TimingConfig] = None,
+) -> CellSpec:
+    """Describe one (workload, scheme) cell with the standard configuration."""
+    length = length or trace_length()
+    cores = cores or core_count()
+    memory = MemoryConfig() if write_queue_entries is None else MemoryConfig(
+        write_queue_entries=write_queue_entries
+    )
+    config = SystemConfig(
+        cores=cores,
+        timing=timing if timing is not None else TimingConfig(),
+        memory=memory,
+        disturbance=disturbance if disturbance is not None else DisturbanceConfig(),
+        scheme=scheme,
+        seed=seed,
+    )
+    return CellSpec(
+        bench=bench,
+        length=length,
+        config=config,
+        lifetime_fraction=lifetime_fraction,
+    )
+
+
+def run_cells(specs: Sequence[CellSpec]) -> List[SimulationResult]:
+    """Simulate a batch of cells through the perf engine (cached, parallel)."""
+    return get_runner().run_cells(list(specs))
+
+
 def run(
     bench: str,
     scheme: SchemeConfig,
@@ -60,19 +117,16 @@ def run(
     lifetime_fraction: float = 0.0,
 ) -> SimulationResult:
     """Simulate one (workload, scheme) cell with the standard configuration."""
-    length = length or trace_length()
-    cores = cores or core_count()
-    memory = MemoryConfig() if write_queue_entries is None else MemoryConfig(
-        write_queue_entries=write_queue_entries
-    )
-    config = SystemConfig(
+    spec = cell(
+        bench,
+        scheme,
+        length=length,
         cores=cores,
-        memory=memory,
-        scheme=scheme,
         seed=seed,
+        write_queue_entries=write_queue_entries,
+        lifetime_fraction=lifetime_fraction,
     )
-    system = SDPCMSystem(config, lifetime_fraction=lifetime_fraction)
-    return system.run(workload(bench, length, cores, seed))
+    return run_cells([spec])[0]
 
 
 @dataclass

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from ..core import schemes
 from ..stats.energy import energy_report
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 DEFAULT_WORKLOADS = ("gemsFDTD", "lbm", "mcf", "stream")
 SCHEME_LINEUP = ("DIN", "baseline", "LazyC", "LazyC+PreRead", "(1:2)")
@@ -28,11 +28,16 @@ def run_experiment(
     )
     sums = {name: 0.0 for name in SCHEME_LINEUP}
     names = paper_workload_names(workloads or DEFAULT_WORKLOADS)
+    specs = [
+        cell(bench, schemes.by_name(name), length=length)
+        for bench in names
+        for name in SCHEME_LINEUP
+    ]
+    cells = iter(run_cells(specs))
     for bench in names:
         row: list = [bench]
         for name in SCHEME_LINEUP:
-            res = run(bench, schemes.by_name(name), length=length)
-            report = energy_report(res.counters)
+            report = energy_report(next(cells).counters)
             row.append(report.wd_overhead_fraction)
             sums[name] += report.wd_overhead_fraction
         result.rows.append(row)

@@ -8,10 +8,16 @@ DIN), and (1:2) matches DIN by eliminating VnC.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core import schemes
-from .common import ExperimentResult, add_gmean_row, paper_workload_names, run
+from .common import (
+    ExperimentResult,
+    add_gmean_row,
+    cell,
+    paper_workload_names,
+    run_cells,
+)
 
 PAPER_GMEANS = {
     "DIN": 1.45,
@@ -33,19 +39,19 @@ def run_experiment(
         title="Figure 11: normalized speedup over baseline VnC (bigger is better)",
         headers=["workload"] + names,
     )
-    for bench in paper_workload_names(workloads):
-        per_scheme: Dict[str, float] = {}
-        results = {
-            name: run(bench, factory(), length=length)
-            for name, factory in schemes.FIGURE11_SCHEMES.items()
-        }
+    benches = paper_workload_names(workloads)
+    specs = [
+        cell(bench, factory(), length=length)
+        for bench in benches
+        for factory in schemes.FIGURE11_SCHEMES.values()
+    ]
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        results = {name: next(cells) for name in names}
         base = results["baseline"]
-        row: list = [bench]
-        for name in names:
-            speedup = results[name].speedup_over(base)
-            per_scheme[name] = speedup
-            row.append(speedup)
-        result.rows.append(row)
+        result.rows.append(
+            [bench] + [results[name].speedup_over(base) for name in names]
+        )
     add_gmean_row(result)
     gmeans = result.rows[-1]
     for i, name in enumerate(names, start=1):

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..core import schemes
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 ECP_LEVELS = (0, 2, 4, 6, 8, 10)
 
@@ -28,12 +28,17 @@ def run_experiment(
     )
     sums = [0.0] * len(levels)
     names = paper_workload_names(workloads)
+    specs = [
+        cell(bench, schemes.lazyc(ecp_entries=n) if n else schemes.baseline(),
+             length=length)
+        for bench in names
+        for n in levels
+    ]
+    cells = iter(run_cells(specs))
     for bench in names:
         row: list = [bench]
-        for i, n in enumerate(levels):
-            scheme = schemes.lazyc(ecp_entries=n) if n else schemes.baseline()
-            res = run(bench, scheme, length=length)
-            cpw = res.counters.corrections_per_write
+        for i, _n in enumerate(levels):
+            cpw = next(cells).counters.corrections_per_write
             row.append(cpw)
             sums[i] += cpw
         result.rows.append(row)

@@ -11,7 +11,7 @@ from typing import Optional, Sequence
 
 from ..core import schemes
 from ..core.results import geometric_mean
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 ECP_LEVELS = (0, 2, 4, 6, 8, 10)
 
@@ -26,13 +26,21 @@ def run_experiment(
         headers=["workload"] + [f"ECP-{n}" for n in levels],
     )
     columns: dict = {n: [] for n in levels}
-    for bench in paper_workload_names(workloads):
-        base = run(bench, schemes.baseline(), length=length)
+    benches = paper_workload_names(workloads)
+    specs = []
+    for bench in benches:
+        specs.append(cell(bench, schemes.baseline(), length=length))
+        specs.extend(
+            cell(bench, schemes.lazyc(ecp_entries=n) if n else schemes.baseline(),
+                 length=length)
+            for n in levels
+        )
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        base = next(cells)
         row: list = [bench]
         for n in levels:
-            scheme = schemes.lazyc(ecp_entries=n) if n else schemes.baseline()
-            res = run(bench, scheme, length=length)
-            speedup = res.speedup_over(base)
+            speedup = next(cells).speedup_over(base)
             row.append(speedup)
             columns[n].append(speedup)
         result.rows.append(row)

@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 from ..core import schemes
 from ..core.results import geometric_mean
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 LIFETIME_POINTS = (0.0, 0.25, 0.5, 0.75, 1.0)
 #: Write-intensive subset (the figure's sensitivity is write-driven).
@@ -31,17 +31,19 @@ def run_experiment(
         headers=["lifetime"] + ["gmean speedup vs fresh", "degradation %"],
     )
     names = paper_workload_names(workloads or DEFAULT_WORKLOADS)
-    fresh = {
-        bench: run(bench, schemes.lazyc(), length=length, lifetime_fraction=0.0)
+    specs = [
+        cell(bench, schemes.lazyc(), length=length, lifetime_fraction=0.0)
         for bench in names
-    }
+    ]
+    specs += [
+        cell(bench, schemes.lazyc(), length=length, lifetime_fraction=fraction)
+        for fraction in points
+        for bench in names
+    ]
+    cells = iter(run_cells(specs))
+    fresh = {bench: next(cells) for bench in names}
     for fraction in points:
-        speedups = []
-        for bench in names:
-            aged = run(
-                bench, schemes.lazyc(), length=length, lifetime_fraction=fraction
-            )
-            speedups.append(fresh[bench].cpi / aged.cpi)
+        speedups = [fresh[bench].cpi / next(cells).cpi for bench in names]
         g = geometric_mean(speedups)
         result.rows.append([f"{fraction:.0%}", g, (1.0 - g) * 100.0])
         result.metrics[f"life{int(fraction * 100)}"] = g

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from ..core import schemes
 from ..core.results import geometric_mean
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 QUEUE_SIZES = (8, 16, 32, 64)
 
@@ -28,14 +28,18 @@ def run_experiment(
     )
     columns: dict = {s: [] for s in sizes}
     din_gap: dict = {s: [] for s in sizes}
-    for bench in paper_workload_names(workloads):
+    benches = paper_workload_names(workloads)
+    specs = [
+        cell(bench, factory(), length=length, write_queue_entries=s)
+        for bench in benches
+        for s in sizes
+        for factory in (schemes.baseline, schemes.lazyc_preread, schemes.din)
+    ]
+    cells = iter(run_cells(specs))
+    for bench in benches:
         row: list = [bench]
         for s in sizes:
-            base = run(bench, schemes.baseline(), length=length, write_queue_entries=s)
-            res = run(
-                bench, schemes.lazyc_preread(), length=length, write_queue_entries=s
-            )
-            din = run(bench, schemes.din(), length=length, write_queue_entries=s)
+            base, res, din = next(cells), next(cells), next(cells)
             speedup = res.speedup_over(base)
             row.append(speedup)
             columns[s].append(speedup)

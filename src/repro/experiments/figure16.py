@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 from ..alloc.strips import usable_fraction
 from ..core import schemes
 from ..core.results import geometric_mean
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 RATIOS = ((1, 2), (2, 3), (3, 4), (7, 8))
 
@@ -28,12 +28,19 @@ def run_experiment(
         headers=["workload"] + [f"({n}:{m})" for n, m in ratios],
     )
     columns: dict = {r: [] for r in ratios}
-    for bench in paper_workload_names(workloads):
-        base = run(bench, schemes.baseline(), length=length)
+    benches = paper_workload_names(workloads)
+    specs = []
+    for bench in benches:
+        specs.append(cell(bench, schemes.baseline(), length=length))
+        specs.extend(
+            cell(bench, schemes.nm_alloc(n, m), length=length) for n, m in ratios
+        )
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        base = next(cells)
         row: list = [bench]
         for n, m in ratios:
-            res = run(bench, schemes.nm_alloc(n, m), length=length)
-            speedup = res.speedup_over(base)
+            speedup = next(cells).speedup_over(base)
             row.append(speedup)
             columns[(n, m)].append(speedup)
         result.rows.append(row)

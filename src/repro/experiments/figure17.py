@@ -11,7 +11,7 @@ from typing import Optional, Sequence
 
 from ..core import schemes
 from ..stats.lifetime import lifetime_report
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 
 def run_experiment(
@@ -23,8 +23,9 @@ def run_experiment(
         headers=["workload", "normalized lifetime", "degradation %"],
     )
     degradations = []
-    for bench in paper_workload_names(workloads):
-        res = run(bench, schemes.lazyc_preread(), length=length)
+    benches = paper_workload_names(workloads)
+    specs = [cell(bench, schemes.lazyc_preread(), length=length) for bench in benches]
+    for bench, res in zip(benches, run_cells(specs)):
         report = lifetime_report(bench, res.counters)
         result.rows.append(
             [bench, report.data_chip, report.data_degradation * 100.0]

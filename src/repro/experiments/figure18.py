@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 
 from ..core import schemes
 from ..stats.lifetime import INTRA_ROW_WL_LOSS, lifetime_report
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 
 def run_experiment(
@@ -25,8 +25,9 @@ def run_experiment(
         headers=["workload", "normalized lifetime", "degradation %"],
     )
     degradations = []
-    for bench in paper_workload_names(workloads):
-        res = run(bench, schemes.lazyc_preread(), length=length)
+    benches = paper_workload_names(workloads)
+    specs = [cell(bench, schemes.lazyc_preread(), length=length) for bench in benches]
+    for bench, res in zip(benches, run_cells(specs)):
         report = lifetime_report(bench, res.counters)
         result.rows.append([bench, report.ecp_chip, report.ecp_degradation * 100.0])
         degradations.append(report.ecp_degradation)

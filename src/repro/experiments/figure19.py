@@ -11,7 +11,13 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..core import schemes
-from .common import ExperimentResult, add_gmean_row, paper_workload_names, run
+from .common import (
+    ExperimentResult,
+    add_gmean_row,
+    cell,
+    paper_workload_names,
+    run_cells,
+)
 
 SCHEMES = ("VnC", "eager", "WC", "LazyC", "WC+LazyC")
 
@@ -24,15 +30,19 @@ def run_experiment(
         title="Figure 19: write cancellation x LazyC (speedup over baseline VnC)",
         headers=["workload"] + list(SCHEMES),
     )
-    for bench in paper_workload_names(workloads):
-        base = run(bench, schemes.by_name("VnC"), length=length)
-        row: list = [bench]
-        for name in SCHEMES:
-            res = base if name == "VnC" else run(
-                bench, schemes.by_name(name), length=length
-            )
-            row.append(res.speedup_over(base))
-        result.rows.append(row)
+    benches = paper_workload_names(workloads)
+    specs = [
+        cell(bench, schemes.by_name(name), length=length)
+        for bench in benches
+        for name in SCHEMES
+    ]
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        results = {name: next(cells) for name in SCHEMES}
+        base = results["VnC"]
+        result.rows.append(
+            [bench] + [results[name].speedup_over(base) for name in SCHEMES]
+        )
     add_gmean_row(result)
     gmeans = result.rows[-1]
     for i, name in enumerate(SCHEMES, start=1):

@@ -14,9 +14,9 @@ from typing import Optional, Sequence
 from ..core import schemes
 from .common import (
     ExperimentResult,
-    add_gmean_row,
+    cell,
     paper_workload_names,
-    run,
+    run_cells,
 )
 
 
@@ -35,8 +35,9 @@ def run_experiment(
         ],
     )
     adj_avgs, wl_avgs = [], []
-    for bench in paper_workload_names(workloads):
-        res = run(bench, schemes.baseline(), length=length)
+    benches = paper_workload_names(workloads)
+    specs = [cell(bench, schemes.baseline(), length=length) for bench in benches]
+    for bench, res in zip(benches, run_cells(specs)):
         c = res.counters
         result.rows.append(
             [

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 from ..config import LINE_BITS, SchemeConfig
 from ..core import schemes
 from ..core.results import geometric_mean
-from .common import ExperimentResult, paper_workload_names, run
+from .common import ExperimentResult, cell, paper_workload_names, run_cells
 
 
 def unprotected() -> SchemeConfig:
@@ -41,10 +41,15 @@ def run_experiment(
         headers=["workload", "verification", "correction", "VnC total"],
     )
     verif_bars, corr_bars, total_bars = [], [], []
-    for bench in paper_workload_names(workloads):
-        ref = run(bench, unprotected(), length=length)
-        verif = run(bench, verification_only(), length=length)
-        full = run(bench, schemes.baseline(), length=length)
+    benches = paper_workload_names(workloads)
+    specs = [
+        cell(bench, factory(), length=length)
+        for bench in benches
+        for factory in (unprotected, verification_only, schemes.baseline)
+    ]
+    cells = iter(run_cells(specs))
+    for bench in benches:
+        ref, verif, full = next(cells), next(cells), next(cells)
         v = verif.cpi / ref.cpi
         t = full.cpi / ref.cpi
         c = 1.0 + (t - v)  # additive stacked decomposition

@@ -15,18 +15,15 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..config import DisturbanceConfig, SystemConfig
+from ..config import DisturbanceConfig
 from ..core import schemes
 from ..core.results import geometric_mean
-from ..core.system import SDPCMSystem
 from ..pcm.scaling import ScalingModel
 from .common import (
-    DEFAULT_SEED,
     ExperimentResult,
-    core_count,
+    cell,
     paper_workload_names,
-    trace_length,
-    workload,
+    run_cells,
 )
 
 NODES_NM = (30.0, 20.0, 16.0)
@@ -55,26 +52,19 @@ def run_experiment(
         headers=["node"]
         + ["p_bitline", "DIN", "LazyC", "LazyC+PreRead"],
     )
-    length = length or trace_length()
-    cores = core_count()
+    scheme_names = ("DIN", "baseline", "LazyC", "LazyC+PreRead")
+    benches = paper_workload_names(workloads or DEFAULT_WORKLOADS)
     for node in nodes:
         disturbance = _disturbance_for_node(node)
+        specs = [
+            cell(bench, schemes.by_name(name), length=length,
+                 disturbance=disturbance)
+            for name in scheme_names
+            for bench in benches
+        ]
+        cells = iter(run_cells(specs))
+        runs = {name: [next(cells) for _ in benches] for name in scheme_names}
         speedups = {}
-        runs = {}
-        for name in ("DIN", "baseline", "LazyC", "LazyC+PreRead"):
-            config = SystemConfig(
-                cores=cores,
-                scheme=schemes.by_name(name),
-                seed=DEFAULT_SEED,
-                disturbance=disturbance,
-            )
-            per_bench = []
-            for bench in paper_workload_names(workloads or DEFAULT_WORKLOADS):
-                res = SDPCMSystem(config).run(
-                    workload(bench, length, cores, DEFAULT_SEED)
-                )
-                per_bench.append(res)
-            runs[name] = per_bench
         base = runs["baseline"]
         for name in ("DIN", "LazyC", "LazyC+PreRead"):
             speedups[name] = geometric_mean(

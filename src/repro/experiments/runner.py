@@ -4,11 +4,15 @@ Usage::
 
     python -m repro.experiments.runner                  # everything
     python -m repro.experiments.runner figure11         # one experiment
+    python -m repro.experiments.runner figure11 --jobs 4     # parallel cells
     python -m repro.experiments.runner --json out figure11   # + JSON export
     REPRO_TRACE_LEN=4000 python -m repro.experiments.runner
 
 Timing-simulation experiments scale with REPRO_TRACE_LEN; the analytic ones
-(table1, capacity, overhead) are instant.
+(table1, capacity, overhead) are instant.  Simulated cells go through the
+:mod:`repro.perf` engine: ``--jobs``/``REPRO_JOBS`` fans cold cells out over
+a process pool, and finished cells are cached on disk (``REPRO_CACHE_DIR``)
+so re-runs skip them entirely.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from . import (
     overhead,
     table1,
 )
+from ..perf import engine
 from .common import ExperimentResult
 
 EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
@@ -68,17 +73,36 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 
 def main(argv: list[str]) -> int:
     json_dir = None
-    if argv and argv[0] == "--json":
-        if len(argv) < 2:
-            print("--json requires a directory")
-            return 2
-        json_dir = argv[1]
-        argv = argv[2:]
-    requested = argv or list(EXPERIMENTS)
+    jobs = None
+    names: list[str] = []
+    argv = list(argv)
+    while argv:
+        arg = argv.pop(0)
+        if arg in ("--json", "--jobs"):
+            if not argv:
+                print(f"{arg} requires a value")
+                return 2
+            value = argv.pop(0)
+            if arg == "--json":
+                json_dir = value
+            else:
+                try:
+                    jobs = int(value)
+                except ValueError:
+                    print(f"--jobs requires an integer, got {value!r}")
+                    return 2
+                if jobs < 1:
+                    print(f"--jobs must be >= 1, got {jobs}")
+                    return 2
+        else:
+            names.append(arg)
+    requested = names or list(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
         return 2
+    if jobs is not None:
+        engine.configure(jobs=jobs)
     for name in requested:
         start = time.time()
         result = EXPERIMENTS[name]()
@@ -89,6 +113,12 @@ def main(argv: list[str]) -> int:
 
             path = export.write_json(result, f"{json_dir}/{name}.json")
             print(f"  [wrote {path}]")
+    runner = engine.get_runner()
+    print(
+        f"  [engine: {engine.STATS.summary()}; jobs={runner.jobs}, "
+        f"cache={'on' if runner.cache.enabled else 'off'} "
+        f"at {runner.cache.root}]"
+    )
     return 0
 
 

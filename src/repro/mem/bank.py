@@ -4,9 +4,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from .request import Request, RequestKind, WriteEntry
+from .request import PrereadSlot, Request, RequestKind, WriteEntry
+
+#: (bank, row, line) — the unit the write-queue line index is keyed by.
+LineKey = Tuple[int, int, int]
+
+
+def _line_key(entry: WriteEntry) -> LineKey:
+    addr = entry.addr
+    return (addr.bank, addr.row, addr.line)
 
 
 @dataclass
@@ -42,14 +50,34 @@ class InFlightOp:
 
 @dataclass
 class BankState:
-    """One PCM bank: FIFO read queue, bounded write queue, busy op."""
+    """One PCM bank: FIFO read queue, bounded write queue, busy op.
+
+    The write queue is a deque (both the drain pop and the pause/cancel
+    re-insert touch the front, which ``list`` makes O(n)) mirrored by two
+    derived structures the controller's hot paths rely on:
+
+    * ``wq_index`` maps (bank, row, line) to the queued entries for that
+      line in queue order, so :meth:`find_write` — called on *every*
+      demand read and every enqueued write's slots — is O(1) instead of
+      a reverse scan of the queue.
+    * ``preread_cursor`` keeps, in queue order, the entries that still
+      owe PreRead work, so :meth:`next_preread_target` stops rescanning
+      the whole queue on every scheduler kick.  Entries are invalidated
+      lazily (``in_write_q``/pending-slot checks) when they reach the
+      cursor head.
+
+    Mutate the queue only through :meth:`wq_append`, :meth:`wq_appendleft`
+    and :meth:`wq_popleft`; they keep all three structures consistent.
+    """
 
     index: int
     wq_capacity: int
     read_q: Deque[Tuple[Request, Callable[[int], None]]] = field(
         default_factory=deque
     )
-    write_q: List[WriteEntry] = field(default_factory=list)
+    write_q: Deque[WriteEntry] = field(default_factory=deque)
+    wq_index: Dict[LineKey, List[WriteEntry]] = field(default_factory=dict)
+    preread_cursor: Deque[WriteEntry] = field(default_factory=deque)
     current: Optional[InFlightOp] = None
     #: True while the controller is flushing the write queue (bursty write);
     #: reads to this bank wait until the flush completes.
@@ -67,11 +95,67 @@ class BankState:
     def wq_full(self) -> bool:
         return len(self.write_q) >= self.wq_capacity
 
-    def find_write(self, line_key: tuple[int, int, int]) -> Optional[WriteEntry]:
+    # -- write-queue mutation (keeps the index and cursor in sync) -------------
+
+    def wq_append(self, entry: WriteEntry) -> None:
+        """Enqueue a new write at the back of the queue."""
+        self.write_q.append(entry)
+        entry.in_write_q = True
+        self.wq_index.setdefault(_line_key(entry), []).append(entry)
+        if entry.pending_preread() is not None:
+            self._cursor_add(entry, front=False)
+
+    def wq_appendleft(self, entry: WriteEntry) -> None:
+        """Re-insert a paused/cancelled write at the front of the queue."""
+        self.write_q.appendleft(entry)
+        entry.in_write_q = True
+        self.wq_index.setdefault(_line_key(entry), []).insert(0, entry)
+        if entry.pending_preread() is not None:
+            self._cursor_add(entry, front=True)
+
+    def wq_popleft(self) -> WriteEntry:
+        """Dequeue the oldest write for execution."""
+        entry = self.write_q.popleft()
+        entry.in_write_q = False
+        key = _line_key(entry)
+        entries = self.wq_index[key]
+        for i, candidate in enumerate(entries):
+            if candidate is entry:
+                del entries[i]
+                break
+        if not entries:
+            del self.wq_index[key]
+        return entry
+
+    def _cursor_add(self, entry: WriteEntry, front: bool) -> None:
+        if entry.in_preread_cursor:
+            # A pause/cancel re-insert moves the entry to the queue front;
+            # refresh its (stale) cursor position to match.
+            self.preread_cursor.remove(entry)
+        entry.in_preread_cursor = True
+        if front:
+            self.preread_cursor.appendleft(entry)
+        else:
+            self.preread_cursor.append(entry)
+
+    def find_write(self, line_key: LineKey) -> Optional[WriteEntry]:
         """Youngest queued write to a given line (for read forwarding and
         PreRead same-queue forwarding, Section 4.3)."""
-        for entry in reversed(self.write_q):
-            addr = entry.addr
-            if (addr.bank, addr.row, addr.line) == line_key:
-                return entry
+        entries = self.wq_index.get(line_key)
+        return entries[-1] if entries else None
+
+    def next_preread_target(self) -> Optional[Tuple[WriteEntry, int]]:
+        """The first queued entry (in queue order) still owing a pre-read,
+        plus the index of its first pending slot; drops exhausted or
+        dequeued entries from the cursor head on the way."""
+        while self.preread_cursor:
+            entry = self.preread_cursor[0]
+            slot: Optional[PrereadSlot] = (
+                entry.pending_preread() if entry.in_write_q else None
+            )
+            if slot is None:
+                self.preread_cursor.popleft()
+                entry.in_preread_cursor = False
+                continue
+            return entry, entry.slots.index(slot)
         return None

@@ -139,7 +139,7 @@ class MemoryController:
             return False
         entry = WriteEntry(request, slots=self.executor.preread_slots(request))
         self._apply_queue_forwarding(bank, entry)
-        bank.write_q.append(entry)
+        bank.wq_append(entry)
         self.counters.demand_writes += 1
         if bank.wq_full:
             bank.draining = True
@@ -199,7 +199,7 @@ class MemoryController:
             if op.entry is None:
                 raise SimulationError("cancelled write op without entry")
             op.entry.cancellations += 1
-            bank.write_q.insert(0, op.entry)
+            bank.wq_appendleft(op.entry)
             bank.current = None
             self._kick(bank)
 
@@ -225,7 +225,7 @@ class MemoryController:
         self.counters.writes_paused += 1
         # The remaining cycles will be re-charged when the write resumes.
         self.counters.total_write_busy_cycles -= remaining
-        bank.write_q.insert(0, op.entry)
+        bank.wq_appendleft(op.entry)
         bank.current = None
         self._kick(bank)
 
@@ -254,7 +254,7 @@ class MemoryController:
             self._start_preread(bank, now)
 
     def _start_write(self, bank: BankState, now: int) -> None:
-        entry = bank.write_q.pop(0)
+        entry = bank.wq_popleft()
         self._wake_space_waiters(bank, now)
         if entry.paused is not None:
             # Resume a paused write: the op was already planned; only the
@@ -296,14 +296,7 @@ class MemoryController:
         self.scheduler.schedule(now + latency, lambda t: self._finish(bank, op, t))
 
     def _start_preread(self, bank: BankState, now: int) -> None:
-        target: Optional[tuple[WriteEntry, int]] = None
-        for entry in bank.write_q:
-            for i, slot in enumerate(entry.slots):
-                if not slot.done:
-                    target = (entry, i)
-                    break
-            if target:
-                break
+        target = bank.next_preread_target()
         if target is None:
             return
         entry, slot_index = target

@@ -69,9 +69,14 @@ class PausedWrite:
     remaining: int
 
 
-@dataclass
+@dataclass(eq=False)
 class WriteEntry:
-    """One write-queue entry: the request plus its PreRead machinery."""
+    """One write-queue entry: the request plus its PreRead machinery.
+
+    Entries are queue bookkeeping with identity semantics (``eq=False``):
+    two distinct entries may carry field-equal requests, and the bank's
+    line index and preread cursor must distinguish them.
+    """
 
     request: Request
     #: PreRead slots for the adjacent lines that will need verification
@@ -86,6 +91,11 @@ class WriteEntry:
     paused: Optional[PausedWrite] = None
     #: Number of times this write was paused.
     pauses: int = 0
+    #: Maintained by :class:`~repro.mem.bank.BankState`'s queue methods:
+    #: True while the entry sits in its bank's write queue.
+    in_write_q: bool = False
+    #: True while the entry is tracked by the bank's preread cursor.
+    in_preread_cursor: bool = False
 
     @property
     def addr(self) -> LineAddress:

@@ -1,0 +1,110 @@
+"""Disk-backed, content-addressed cache of simulation results.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) as
+one pickle per cell, named by the :func:`repro.perf.cellspec.cache_key`
+hash.  Set ``REPRO_CACHE=0`` to bypass the cache entirely.  Writes are
+atomic (tempfile + rename) so concurrent workers and interrupted runs
+cannot leave a partially written entry behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..core.results import SimulationResult
+
+_SUFFIX = ".pkl"
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of the on-disk cache contents."""
+
+    root: str
+    enabled: bool
+    entries: int
+    bytes: int
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+class ResultCache:
+    """Load/store :class:`SimulationResult`\\ s keyed by spec hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 enabled: Optional[bool] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = cache_enabled() if enabled is None else enabled
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A truncated or stale-format entry is just a miss; drop it so
+            # the rewrite below replaces it with a good one.
+            path.unlink(missing_ok=True)
+            return None
+        return result if isinstance(result, SimulationResult) else None
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def info(self) -> CacheInfo:
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob(f"*{_SUFFIX}"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return CacheInfo(
+            root=str(self.root), enabled=self.enabled, entries=entries, bytes=size
+        )
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob(f"*{_SUFFIX}"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,65 @@
+"""One simulation cell and its content-addressed identity.
+
+A *cell* is the unit of work the experiment figures are assembled from:
+replaying one workload trace under one fully specified
+:class:`~repro.config.SystemConfig`.  Two cells with equal specs produce
+bit-identical :class:`~repro.core.results.SimulationResult`\\ s (the
+simulator is seeded), which is what makes both the process pool and the
+disk cache transparent to the figures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from ..config import SystemConfig
+from ..core.results import SimulationResult
+
+#: Bump whenever simulator behaviour changes in a way that alters results
+#: for an unchanged spec — it invalidates every previously cached cell.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything needed to (re)simulate one (workload, scheme) cell."""
+
+    bench: str
+    length: int
+    config: SystemConfig
+    lifetime_fraction: float = 0.0
+
+
+def cache_key(spec: CellSpec) -> str:
+    """Stable content hash of a cell spec.
+
+    Every field of the nested config dataclasses participates, so changing
+    any timing/memory/disturbance/scheme parameter — or the schema version
+    above — yields a different key.
+    """
+    payload = {
+        "version": CACHE_SCHEMA_VERSION,
+        "bench": spec.bench,
+        "length": spec.length,
+        "lifetime_fraction": spec.lifetime_fraction,
+        "config": asdict(spec.config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def simulate_cell(spec: CellSpec) -> SimulationResult:
+    """Simulate one cell from scratch (also the process-pool worker)."""
+    from ..core.system import SDPCMSystem
+    from ..traces.workload import homogeneous_workload
+
+    workload = homogeneous_workload(
+        spec.bench,
+        cores=spec.config.cores,
+        length=spec.length,
+        seed=spec.config.seed,
+    )
+    system = SDPCMSystem(spec.config, lifetime_fraction=spec.lifetime_fraction)
+    return system.run(workload)

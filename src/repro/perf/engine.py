@@ -1,0 +1,142 @@
+"""The cell execution engine: dedup, cache, and fan out over processes.
+
+:meth:`CellRunner.run_cells` is the single entry point the experiment
+modules use.  It guarantees:
+
+* **Deterministic ordering** — results come back in submission order, so
+  tables built from a batch are byte-identical whether the cells were
+  simulated serially, in a process pool, or loaded from a warm cache.
+* **Deduplication** — identical specs inside one batch (figures reuse
+  baseline cells heavily) are simulated once.
+* **Caching** — finished cells are persisted via
+  :class:`~repro.perf.cache.ResultCache` and reused across runs.
+
+Worker count comes from, in priority order: an explicit ``jobs=``
+argument (the runner's ``--jobs`` flag), the ``REPRO_JOBS`` environment
+variable, then ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.results import SimulationResult
+from .cache import ResultCache
+from .cellspec import CellSpec, cache_key, simulate_cell
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` or the machine's CPU count."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is not None:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+        if jobs < 1:
+            raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return os.cpu_count() or 1
+
+
+@dataclass
+class EngineStats:
+    """Session-wide counters, shared by every runner instance."""
+
+    cache_hits: int = 0
+    simulated: int = 0
+    deduplicated: int = 0
+
+    def reset(self) -> None:
+        self.cache_hits = 0
+        self.simulated = 0
+        self.deduplicated = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.simulated} simulated, {self.cache_hits} cache hits, "
+            f"{self.deduplicated} deduplicated"
+        )
+
+
+#: Counters accumulated across every ``run_cells`` call in this process.
+STATS = EngineStats()
+
+
+class CellRunner:
+    """Executes batches of cell specs with caching and parallelism."""
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.cache = cache if cache is not None else ResultCache()
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> List[SimulationResult]:
+        """Simulate (or recall) every cell, in submission order."""
+        keys = [cache_key(spec) for spec in specs]
+        unique: Dict[str, CellSpec] = {}
+        for key, spec in zip(keys, specs):
+            if key in unique:
+                STATS.deduplicated += 1
+            else:
+                unique[key] = spec
+
+        results: Dict[str, SimulationResult] = {}
+        cold: List[str] = []
+        for key, spec in unique.items():
+            cached = self.cache.load(key)
+            if cached is not None:
+                results[key] = cached
+                STATS.cache_hits += 1
+            else:
+                cold.append(key)
+
+        for key, result in zip(cold, self._simulate([unique[k] for k in cold])):
+            self.cache.store(key, result)
+            results[key] = result
+            STATS.simulated += 1
+
+        return [results[key] for key in keys]
+
+    def _simulate(self, specs: List[CellSpec]) -> List[SimulationResult]:
+        if self.jobs <= 1 or len(specs) <= 1:
+            return [simulate_cell(spec) for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves submission order regardless of
+            # completion order, keeping tables byte-identical to serial.
+            return list(pool.map(simulate_cell, specs))
+
+
+#: Explicitly configured runner (``configure``); None means build one per
+#: call from the environment so tests that monkeypatch REPRO_* are honoured.
+_configured: Optional[CellRunner] = None
+
+
+def configure(jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None) -> CellRunner:
+    """Install the session's runner (used by the CLI's ``--jobs``)."""
+    global _configured
+    _configured = CellRunner(jobs=jobs, cache=cache)
+    return _configured
+
+
+def reset() -> None:
+    """Drop the configured runner and zero the session counters."""
+    global _configured
+    _configured = None
+    STATS.reset()
+
+
+def get_runner() -> CellRunner:
+    """The configured runner, or a fresh environment-derived one."""
+    if _configured is not None:
+        return _configured
+    return CellRunner()

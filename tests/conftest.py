@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.perf import engine
 from repro.config import (
     DisturbanceConfig,
     MemoryConfig,
@@ -13,6 +14,19 @@ from repro.config import (
     TimingConfig,
 )
 from repro.traces.workload import Workload, homogeneous_workload
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the perf engine's result cache at a per-test directory.
+
+    Keeps the suite hermetic (no reads from or writes to the user's
+    ~/.cache/repro) while still exercising the cache code paths.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    engine.reset()
+    yield
+    engine.reset()
 
 
 @pytest.fixture

@@ -40,19 +40,21 @@ class TestBankState:
     def test_wq_full(self):
         bank = BankState(index=0, wq_capacity=2)
         assert not bank.wq_full
-        bank.write_q.extend([entry(1), entry(2)])
+        bank.wq_append(entry(1))
+        bank.wq_append(entry(2))
         assert bank.wq_full
 
     def test_find_write_returns_youngest(self):
         bank = BankState(index=0, wq_capacity=8)
         first, second = entry(5), entry(5)
-        bank.write_q.extend([first, entry(6), second])
+        for e in (first, entry(6), second):
+            bank.wq_append(e)
         found = bank.find_write((0, 5, 0))
         assert found is second
 
     def test_find_write_misses(self):
         bank = BankState(index=0, wq_capacity=8)
-        bank.write_q.append(entry(5))
+        bank.wq_append(entry(5))
         assert bank.find_write((0, 9, 0)) is None
 
     def test_busy_reflects_current(self):
