@@ -59,6 +59,19 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("stats", "clear"))
 
+    perf_p = sub.add_parser("perf", help="performance tooling")
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+    prof = perf_sub.add_parser(
+        "profile",
+        help="run one cold cell with fine-grained phase timing "
+        "(equivalent to REPRO_PROFILE=1) and print the breakdown",
+    )
+    prof.add_argument("workload", choices=WORKLOAD_ORDER)
+    prof.add_argument("--scheme", default="LazyC+PreRead")
+    prof.add_argument("--length", type=int, default=2000)
+    prof.add_argument("--cores", type=int, default=4)
+    prof.add_argument("--seed", type=int, default=1)
+
     gen = sub.add_parser("gen-trace", help="generate and save a workload trace")
     gen.add_argument("workload", choices=WORKLOAD_ORDER)
     gen.add_argument("path", help="output file (.npz binary or .trace text)")
@@ -181,6 +194,54 @@ def _cmd_cache(action: str) -> int:
     return 0
 
 
+def _cmd_perf_profile(args: argparse.Namespace) -> int:
+    from .perf.cellspec import CellSpec, simulate_cell
+    from .perf import profiler
+
+    scheme = schemes.by_name(args.scheme)
+    config = SystemConfig(cores=args.cores, seed=args.seed).with_scheme(scheme)
+    spec = CellSpec(bench=args.workload, length=args.length, config=config)
+
+    prof = profiler.PROFILER
+    prof.reset()
+    prof.fine = True
+    profiler.install_kernel_timers()
+    try:
+        result = simulate_cell(spec)
+    finally:
+        profiler.uninstall_kernel_timers()
+        prof.fine = profiler._env_fine()
+
+    total = prof.seconds.get("trace_gen", 0.0) + prof.seconds.get("simulate", 0.0)
+    # write_plan/write_commit/bit_kernels overlap `simulate`; the remainder
+    # is the event loop, controller scheduling, and hierarchy bookkeeping.
+    overlapped = prof.seconds.get("write_plan", 0.0) + prof.seconds.get(
+        "write_commit", 0.0
+    )
+    rows = []
+    for phase in ("trace_gen", "write_plan", "write_commit", "bit_kernels"):
+        if phase in prof.seconds:
+            rows.append(
+                [phase, f"{prof.seconds[phase]:.3f}", prof.calls[phase],
+                 f"{100.0 * prof.seconds[phase] / max(total, 1e-12):.1f}%"]
+            )
+    loop_s = max(0.0, prof.seconds.get("simulate", 0.0) - overlapped)
+    rows.append(["event loop + controller", f"{loop_s:.3f}", "",
+                 f"{100.0 * loop_s / max(total, 1e-12):.1f}%"])
+    rows.append(["total", f"{total:.3f}", "", "100.0%"])
+    print(
+        format_table(
+            f"phase profile: {args.workload} under {args.scheme} "
+            f"(length={args.length}, cores={args.cores}; cycles={result.cycles})",
+            ["phase", "seconds", "calls", "share"],
+            rows,
+        )
+    )
+    print("note: bit_kernels time is also inside write_plan; fine timing "
+          "adds per-call overhead, so compare shares, not absolutes.")
+    return 0
+
+
 def _cmd_gen_trace(args: argparse.Namespace) -> int:
     from .traces import file_io
     from .traces.synthetic import generate_trace
@@ -216,6 +277,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args.names, jobs=args.jobs)
     if args.command == "cache":
         return _cmd_cache(args.action)
+    if args.command == "perf":
+        return _cmd_perf_profile(args)
     if args.command == "gen-trace":
         return _cmd_gen_trace(args)
     if args.command == "analyze":

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..alloc.page_table import PageTable
 from ..config import LINES_PER_PAGE, SystemConfig
@@ -28,26 +28,35 @@ from ..traces.workload import Workload
 
 
 class EventLoop:
-    """A deterministic discrete-event scheduler."""
+    """A deterministic discrete-event scheduler.
+
+    Events are ``(time, seq, fn, args)`` heap tuples dispatched as
+    ``fn(*args, time)``.  Passing a bound method plus its arguments avoids
+    allocating a closure per event — the dominant allocation in the replay
+    loop — while single-argument callbacks (``fn(time)``) keep working
+    unchanged with empty ``args``.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[tuple[int, int, Callable[[int], None]]] = []
+        self._heap: List[tuple] = []
         self._seq = 0
         self.now = 0
 
-    def schedule(self, time: int, fn: Callable[[int], None]) -> None:
+    def schedule(self, time: int, fn: Callable[..., None], *args) -> None:
         if time < self.now:
             time = self.now
-        heapq.heappush(self._heap, (time, self._seq, fn))
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
         self._seq += 1
 
     def run(self) -> None:
-        while self._heap:
-            time, _, fn = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _, fn, args = pop(heap)
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
-            fn(time)
+            fn(*args, time)
 
     @property
     def pending(self) -> int:
@@ -59,7 +68,7 @@ class CoreState:
     """Progress of one in-order core through its trace."""
 
     index: int
-    trace: List[TraceRecord]
+    trace: Sequence[TraceRecord]
     page_table: PageTable
     position: int = 0
     instructions: int = 0
@@ -116,7 +125,7 @@ class Engine:
         core.position += 1
         core.instructions += record.gap + 1
         issue_at = now + int(record.gap * self.config.timing.base_cpi)
-        self.loop.schedule(issue_at, lambda t: self._issue(core, record, t))
+        self.loop.schedule(issue_at, self._issue, core, record)
 
     def _issue(self, core: CoreState, record: TraceRecord, now: int) -> None:
         entry = core.page_table.translate(record.page)
@@ -133,7 +142,7 @@ class Engine:
         )
         if record.is_write:
             if self.controller.try_enqueue_write(request):
-                self.loop.schedule(now + 1, lambda t: self._advance(core, t))
+                self.loop.schedule(now + 1, self._advance, core)
             else:
                 stall_from = now
                 def retry(t: int) -> None:
@@ -141,17 +150,18 @@ class Engine:
                     self._issue(core, record, t)
                 self.controller.wait_for_space(addr.bank, retry)
         else:
-            def done(t: int) -> None:
-                core.read_stall_cycles += t - now
-                self._advance(core, t)
-            self.controller.enqueue_read(request, done)
+            self.controller.enqueue_read(request, self._read_done, core, now)
+
+    def _read_done(self, core: CoreState, issued: int, now: int) -> None:
+        core.read_stall_cycles += now - issued
+        self._advance(core, now)
 
     # -- top level ------------------------------------------------------------------
 
     def run(self) -> None:
         """Replay every core's trace to completion, then flush the queues."""
         for core in self.cores:
-            self.loop.schedule(0, lambda t, c=core: self._advance(c, t))
+            self.loop.schedule(0, self._advance, core)
         self.loop.run()
         unfinished = [c.index for c in self.cores if not c.done]
         if unfinished:

@@ -34,6 +34,11 @@ class InFlightOp:
     on_cancel: Optional[Callable[[float], None]] = None
     #: Slot index being filled (PREREAD ops).
     slot_index: int = -1
+    #: Read completion callback and its leading arguments (READ ops);
+    #: invoked as ``on_done(*done_args, finish_time)`` so the controller
+    #: needs no closure per read.
+    on_done: Optional[Callable[..., None]] = None
+    done_args: tuple = ()
 
     @property
     def end(self) -> int:
@@ -72,7 +77,8 @@ class BankState:
 
     index: int
     wq_capacity: int
-    read_q: Deque[Tuple[Request, Callable[[int], None]]] = field(
+    #: Pending demand reads: (request, on_done, leading args for on_done).
+    read_q: Deque[Tuple[Request, Callable[..., None], tuple]] = field(
         default_factory=deque
     )
     write_q: Deque[WriteEntry] = field(default_factory=deque)

@@ -45,7 +45,9 @@ class Scheduler(Protocol):
     @property
     def now(self) -> int: ...
 
-    def schedule(self, time: int, fn: Callable[[int], None]) -> None: ...
+    def schedule(
+        self, time: int, fn: Callable[..., None], *args
+    ) -> None: ...
 
 
 @dataclass
@@ -108,8 +110,15 @@ class MemoryController:
 
     # -- request entry points --------------------------------------------------
 
-    def enqueue_read(self, request: Request, on_done: Callable[[int], None]) -> None:
-        """Accept a demand read; completes via ``on_done(finish_time)``."""
+    def enqueue_read(
+        self, request: Request, on_done: Callable[..., None], *done_args
+    ) -> None:
+        """Accept a demand read; completes via ``on_done(*done_args,
+        finish_time)``.
+
+        The optional leading arguments let callers pass a bound method
+        plus its context instead of allocating a closure per read.
+        """
         bank = self.banks[request.addr.bank]
         self.counters.demand_reads += 1
         key = (request.addr.bank, request.addr.row, request.addr.line)
@@ -117,10 +126,10 @@ class MemoryController:
             # Read-around-write: newest data is still in the write queue.
             self.counters.wq_forwarded_reads += 1
             self.scheduler.schedule(
-                self.scheduler.now + FORWARD_READ_CYCLES, on_done
+                self.scheduler.now + FORWARD_READ_CYCLES, on_done, *done_args
             )
             return
-        bank.read_q.append((request, on_done))
+        bank.read_q.append((request, on_done, done_args))
         self._maybe_cancel_for_read(bank)
         self._maybe_pause_for_read(bank)
         self._kick(bank)
@@ -270,7 +279,7 @@ class MemoryController:
             bank.current = op
             self.counters.total_write_busy_cycles += paused.remaining
             self.scheduler.schedule(
-                now + paused.remaining, lambda t: self._finish(bank, op, t)
+                now + paused.remaining, self._finish, bank, op
             )
             return
         op_plan = self.executor.execute(entry, now)
@@ -284,16 +293,21 @@ class MemoryController:
         )
         bank.current = op
         self.counters.total_write_busy_cycles += op_plan.latency
-        self.scheduler.schedule(now + op_plan.latency, lambda t: self._finish(bank, op, t))
+        self.scheduler.schedule(now + op_plan.latency, self._finish, bank, op)
 
     def _start_read(self, bank: BankState, now: int) -> None:
-        request, on_done = bank.read_q.popleft()
+        request, on_done, done_args = bank.read_q.popleft()
         latency = self.timing.read_cycles
-        op = InFlightOp(kind=RequestKind.READ, start=now, latency=latency)
-        op.commit = lambda: on_done(now + latency)
+        op = InFlightOp(
+            kind=RequestKind.READ,
+            start=now,
+            latency=latency,
+            on_done=on_done,
+            done_args=done_args,
+        )
         bank.current = op
         self.counters.total_read_busy_cycles += latency
-        self.scheduler.schedule(now + latency, lambda t: self._finish(bank, op, t))
+        self.scheduler.schedule(now + latency, self._finish, bank, op)
 
     def _start_preread(self, bank: BankState, now: int) -> None:
         target = bank.next_preread_target()
@@ -311,7 +325,7 @@ class MemoryController:
         bank.current = op
         self.counters.prereads_issued += 1
         self.counters.total_preread_busy_cycles += latency
-        self.scheduler.schedule(now + latency, lambda t: self._finish(bank, op, t))
+        self.scheduler.schedule(now + latency, self._finish, bank, op)
 
     def _finish(self, bank: BankState, op: InFlightOp, now: int) -> None:
         if op.cancelled:
@@ -328,7 +342,10 @@ class MemoryController:
                 if not bank.write_q:
                     bank.flush_all = False
         elif op.kind is RequestKind.READ:
-            if op.commit is not None:
+            # Reads complete at exactly start + latency == now.
+            if op.on_done is not None:
+                op.on_done(*op.done_args, now)
+            elif op.commit is not None:
                 op.commit()
         elif op.kind is RequestKind.PREREAD:
             if op.entry is not None and 0 <= op.slot_index < len(op.entry.slots):

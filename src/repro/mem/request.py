@@ -87,6 +87,9 @@ class WriteEntry:
     #: The write's logical payload, synthesised once on first execution so
     #: a cancelled-and-retried write rewrites the *same* data.
     payload: Optional[object] = None
+    #: Int-domain cache of ``payload`` (512-bit integer form), kept in sync
+    #: by the executor so the planning hot path avoids re-converting.
+    payload_int: Optional[int] = None
     #: Set while the write is paused mid-op (write pausing policy).
     paused: Optional[PausedWrite] = None
     #: Number of times this write was paused.

@@ -87,11 +87,16 @@ class PCMArray:
             raise DeviceError(f"line {line} out of range 0..{LINES_PER_PAGE - 1}")
 
     def row_state(self, bank: int, row: int) -> RowState:
-        """Fetch (materialising if needed) one row's state."""
-        self._check(bank, row)
+        """Fetch (materialising if needed) one row's state.
+
+        Bounds are validated on the materialisation miss path only: a key
+        already present in ``_rows`` was validated when first materialised,
+        so the hit path is a plain dict probe.
+        """
         key = (bank, row)
         state = self._rows.get(key)
         if state is None:
+            self._check(bank, row)
             rng = np.random.default_rng((self._seed, bank, row))
             stored = rng.integers(
                 0, 1 << 64, size=(LINES_PER_PAGE, LINE_WORDS), dtype=L.WORD_DTYPE

@@ -74,6 +74,50 @@ def _changed_table() -> np.ndarray:
 VULNERABILITY_WEIGHT = 4
 
 
+@lru_cache(maxsize=1)
+def _invert_table() -> np.ndarray:
+    """``table[old, raw]`` = 1 when the encoder inverts byte ``raw`` written
+    over physical byte ``old``.
+
+    Precomputing the per-byte cost comparison collapses the encoder's six
+    table gathers and two comparisons to a single gather per write.
+    """
+    vuln = _vulnerability_table()
+    writes = _changed_table()
+    raw = np.arange(256, dtype=np.uint16)[None, :]
+    inverted = (~raw & 0xFF).astype(np.intp)
+    rows = np.arange(256)[:, None]
+    cost_raw = (
+        VULNERABILITY_WEIGHT * vuln.astype(np.int32) + writes
+    )
+    cost_inv = cost_raw[rows, inverted]
+    return (cost_inv < cost_raw).astype(np.uint8)
+
+
+@lru_cache(maxsize=1)
+def _stored_table() -> np.ndarray:
+    """``table[old, raw]`` = the stored-domain byte the encoder emits."""
+    raw = np.arange(256, dtype=np.uint8)[None, :]
+    invert = _invert_table()
+    return np.where(invert, ~raw, raw).astype(np.uint8)
+
+
+@lru_cache(maxsize=1)
+def _flag_expand_table() -> np.ndarray:
+    """``table[flag_byte]`` = 64-bit mask with ``0xFF`` per set flag bit.
+
+    Expands one byte of per-byte inversion flags into the XOR mask that
+    undoes (or applies) the inversion over the corresponding 8 data bytes.
+    """
+    flag = np.arange(256, dtype=np.uint64)
+    out = np.zeros(256, dtype=np.uint64)
+    for bit in range(8):
+        out |= ((flag >> np.uint64(bit)) & np.uint64(1)) * np.uint64(
+            0xFF << (8 * bit)
+        )
+    return out
+
+
 @dataclass(frozen=True)
 class EncodedWrite:
     """Result of encoding one line write."""
@@ -99,17 +143,11 @@ class DINEncoder:
         matching the hardware's parallel per-byte encoders.
         """
         vuln = _vulnerability_table()
-        writes = _changed_table()
         old = physical.view(np.uint8)
         raw = data.view(np.uint8)
-        inverted = (~raw).astype(np.uint8)
-        cost_raw = VULNERABILITY_WEIGHT * vuln[old, raw].astype(np.int32) + writes[old, raw]
-        cost_inv = VULNERABILITY_WEIGHT * vuln[old, inverted].astype(np.int32) + writes[old, inverted]
-        invert = cost_inv < cost_raw
-        stored_bytes = np.where(invert, inverted, raw).astype(np.uint8)
-        flags = int(np.packbits(invert.astype(np.uint8), bitorder="little").view(
-            np.uint64
-        )[0])
+        invert = _invert_table()[old, raw]
+        stored_bytes = _stored_table()[old, raw]
+        flags = int(np.packbits(invert, bitorder="little").view(np.uint64)[0])
         return EncodedWrite(
             stored=stored_bytes.view(L.WORD_DTYPE).copy(),
             flags=flags,
@@ -117,14 +155,34 @@ class DINEncoder:
             vulnerable_raw=int(vuln[old, raw].sum()),
         )
 
+    def encode_stored_int(self, physical: int, data: int) -> "tuple[int, int]":
+        """Hot-path :meth:`encode` over int-domain lines.
+
+        Returns ``(stored, flags)`` without computing the vulnerability
+        statistics (the VnC write path never reads them).
+        """
+        old = np.frombuffer(physical.to_bytes(LINE_BYTES, "little"), np.uint8)
+        raw = np.frombuffer(data.to_bytes(LINE_BYTES, "little"), np.uint8)
+        stored_bytes = _stored_table()[old, raw]
+        flags_bytes = np.packbits(_invert_table()[old, raw], bitorder="little")
+        return (
+            int.from_bytes(stored_bytes.tobytes(), "little"),
+            int.from_bytes(flags_bytes.tobytes(), "little"),
+        )
+
     def decode(self, stored: np.ndarray, flags: int) -> np.ndarray:
         """Invert the encoding: recover logical data from stored bytes."""
-        stored_bytes = stored.view(np.uint8)
-        invert = np.unpackbits(
-            np.array([flags], dtype=np.uint64).view(np.uint8), bitorder="little"
-        )[:LINE_BYTES].astype(bool)
-        out = np.where(invert, (~stored_bytes).astype(np.uint8), stored_bytes)
-        return out.astype(np.uint8).view(L.WORD_DTYPE).copy()
+        return L.from_int(self.decode_int(L.to_int(stored), flags))
+
+    def decode_int(self, stored: int, flags: int) -> int:
+        """Int-domain :meth:`decode`: XOR the expanded inversion flags.
+
+        ``where(invert, ~b, b)`` is exactly ``b ^ (0xFF per inverted
+        byte)``, so decoding is one table expansion plus one XOR.
+        """
+        flag_bytes = np.frombuffer(flags.to_bytes(8, "little"), np.uint8)
+        xor_words = _flag_expand_table()[flag_bytes]
+        return stored ^ int.from_bytes(xor_words.tobytes(), "little")
 
     def vulnerable_pairs(self, physical: np.ndarray, stored: np.ndarray) -> int:
         """Count word-line-vulnerable pairs a stored image would create."""
@@ -143,3 +201,12 @@ def wordline_vulnerable_mask(
     """
     idle = (~changed_mask).astype(L.WORD_DTYPE)
     return (L.wordline_neighbours(reset_mask) & idle & ~physical).astype(L.WORD_DTYPE)
+
+
+def wordline_vulnerable_mask_int(physical: int, reset: int, changed: int) -> int:
+    """Int-domain :func:`wordline_vulnerable_mask`."""
+    return (
+        L.wordline_neighbours_int(reset)
+        & (changed ^ L.MASK_ALL)
+        & (physical ^ L.MASK_ALL)
+    )

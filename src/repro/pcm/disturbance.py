@@ -26,8 +26,13 @@ from . import constants as C
 from .thermal import Medium, ThermalModel, default_thermal_model
 
 
+@lru_cache(maxsize=1)
 def _solve_arrhenius() -> tuple[float, float]:
-    """Solve (Ea_eV, k0_per_s) from the two Table 1 anchor points."""
+    """Solve (Ea_eV, k0_per_s) from the two Table 1 anchor points.
+
+    Cached: the anchors are module constants, so the solution never
+    changes, yet ``error_rate`` is on the per-write hot path.
+    """
     t1 = C.ANCHOR_WORDLINE_TEMP_C + C.KELVIN_OFFSET
     t2 = C.ANCHOR_BITLINE_TEMP_C + C.KELVIN_OFFSET
     h1 = -math.log1p(-C.ANCHOR_WORDLINE_RATE)  # cumulative hazard at t1

@@ -51,15 +51,28 @@ def cache_key(spec: CellSpec) -> str:
 
 
 def simulate_cell(spec: CellSpec) -> SimulationResult:
-    """Simulate one cell from scratch (also the process-pool worker)."""
+    """Simulate one cell from scratch (also the process-pool worker).
+
+    Records coarse per-cell phase timings (``trace_gen`` / ``simulate``)
+    into the process-wide :data:`~repro.perf.profiler.PROFILER` — two
+    timer pairs per cell, always on.
+    """
+    from time import perf_counter
+
     from ..core.system import SDPCMSystem
     from ..traces.workload import homogeneous_workload
+    from .profiler import PROFILER
 
+    t0 = perf_counter()
     workload = homogeneous_workload(
         spec.bench,
         cores=spec.config.cores,
         length=spec.length,
         seed=spec.config.seed,
     )
+    t1 = perf_counter()
     system = SDPCMSystem(spec.config, lifetime_fraction=spec.lifetime_fraction)
-    return system.run(workload)
+    result = system.run(workload)
+    PROFILER.add("trace_gen", t1 - t0)
+    PROFILER.add("simulate", perf_counter() - t1)
+    return result

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.results import SimulationResult
 from .cache import ResultCache
 from .cellspec import CellSpec, cache_key, simulate_cell
+from .profiler import PROFILER, Snapshot
 
 
 def default_jobs() -> int:
@@ -58,10 +59,12 @@ class EngineStats:
         self.deduplicated = 0
 
     def summary(self) -> str:
-        return (
+        base = (
             f"{self.simulated} simulated, {self.cache_hits} cache hits, "
             f"{self.deduplicated} deduplicated"
         )
+        phases = PROFILER.summary()
+        return f"{base}; phases: {phases}" if phases else base
 
 
 #: Counters accumulated across every ``run_cells`` call in this process.
@@ -107,12 +110,29 @@ class CellRunner:
 
     def _simulate(self, specs: List[CellSpec]) -> List[SimulationResult]:
         if self.jobs <= 1 or len(specs) <= 1:
+            # In-process: simulate_cell feeds PROFILER directly.
             return [simulate_cell(spec) for spec in specs]
         workers = min(self.jobs, len(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Executor.map preserves submission order regardless of
             # completion order, keeping tables byte-identical to serial.
-            return list(pool.map(simulate_cell, specs))
+            results: List[SimulationResult] = []
+            for result, phases in pool.map(_simulate_with_phases, specs):
+                PROFILER.merge(phases)
+                results.append(result)
+            return results
+
+
+def _simulate_with_phases(spec: CellSpec) -> tuple:
+    """Pool worker: simulate one cell, shipping its phase timings back.
+
+    Workers are reused across map items, so the per-process profiler is
+    reset before each cell and its delta returned alongside the result.
+    """
+    PROFILER.reset()
+    result = simulate_cell(spec)
+    snapshot: Snapshot = PROFILER.snapshot()
+    return result, snapshot
 
 
 #: Explicitly configured runner (``configure``); None means build one per
@@ -133,6 +153,7 @@ def reset() -> None:
     global _configured
     _configured = None
     STATS.reset()
+    PROFILER.reset()
 
 
 def get_runner() -> CellRunner:

@@ -1,0 +1,124 @@
+"""Per-phase timing for the simulation pipeline.
+
+Two granularities:
+
+* **Coarse** (always on, negligible cost — two timer pairs per cell):
+  :func:`repro.perf.cellspec.simulate_cell` records ``trace_gen`` (workload
+  synthesis) and ``simulate`` (event-loop replay) per cell.  The process
+  pool ships each worker's phase snapshot back with its result, so the
+  ``--jobs`` engine summary line reports aggregate phase timings without
+  enabling full profiling.
+* **Fine** (opt-in via ``REPRO_PROFILE=1`` or ``repro perf profile``):
+  additionally times the VnC write path (``write_plan``/``write_commit``)
+  and, when kernel timers are installed, the bit-mask sampling kernels
+  (``bit_kernels``).  Fine timing adds a ``perf_counter`` pair per write
+  op / kernel call, which inflates call-heavy code — use it to compare
+  phases, not as an absolute benchmark.
+
+Phases overlap deliberately: ``write_plan`` and ``bit_kernels`` are both
+inside ``simulate``; the CLI's profile table derives the non-overlapping
+remainder (event loop + controller + hierarchy bookkeeping) by
+subtraction.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Tuple
+
+_PERF = time.perf_counter
+
+#: Phase snapshot type: name -> (seconds, calls).
+Snapshot = Dict[str, Tuple[float, int]]
+
+
+def _env_fine() -> bool:
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds (and call counts) per phase."""
+
+    __slots__ = ("fine", "seconds", "calls")
+
+    def __init__(self) -> None:
+        #: True when fine-grained (per-write / per-kernel) timing is on.
+        self.fine = _env_fine()
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.calls[phase] = self.calls.get(phase, 0) + calls
+
+    def merge(self, snapshot: Snapshot) -> None:
+        """Fold a worker process's snapshot into this profiler."""
+        for phase, (seconds, calls) in snapshot.items():
+            self.add(phase, seconds, calls)
+
+    def snapshot(self) -> Snapshot:
+        return {
+            phase: (self.seconds[phase], self.calls[phase])
+            for phase in self.seconds
+        }
+
+    def reset(self) -> None:
+        """Clear accumulated phases (the fine flag is left as-is)."""
+        self.seconds.clear()
+        self.calls.clear()
+
+    def summary(self) -> str:
+        """One-line aggregate, e.g. ``trace_gen 0.21s, simulate 3.04s``."""
+        if not self.seconds:
+            return ""
+        order = sorted(self.seconds, key=self.seconds.get, reverse=True)
+        return ", ".join(f"{p} {self.seconds[p]:.2f}s" for p in order)
+
+
+#: Process-wide profiler; workers snapshot it, the parent merges.
+PROFILER = PhaseProfiler()
+
+#: Kernel functions wrapped by :func:`install_kernel_timers`.
+_KERNEL_NAMES = ("sample_mask", "sample_mask_int", "sample_masks",
+                 "sample_masks_int", "popcount_rows")
+
+
+def install_kernel_timers() -> None:
+    """Wrap the :mod:`repro.pcm.line` sampling kernels with timers.
+
+    Idempotent; only meaningful together with fine profiling.  Callers in
+    the hot path look the kernels up as module attributes, so rebinding
+    them here takes effect everywhere.
+    """
+    from ..pcm import line as L
+
+    if getattr(L, "_kernel_timers_installed", False):
+        return
+    for name in _KERNEL_NAMES:
+        original = getattr(L, name)
+
+        def timed(*args, _original=original, **kwargs):
+            t0 = _PERF()
+            try:
+                return _original(*args, **kwargs)
+            finally:
+                PROFILER.add("bit_kernels", _PERF() - t0)
+
+        timed._profiler_original = original  # type: ignore[attr-defined]
+        setattr(L, name, timed)
+    L._kernel_timers_installed = True  # type: ignore[attr-defined]
+
+
+def uninstall_kernel_timers() -> None:
+    """Restore the unwrapped kernels (inverse of the install)."""
+    from ..pcm import line as L
+
+    if not getattr(L, "_kernel_timers_installed", False):
+        return
+    for name in _KERNEL_NAMES:
+        wrapped = getattr(L, name)
+        original = getattr(wrapped, "_profiler_original", None)
+        if original is not None:
+            setattr(L, name, original)
+    L._kernel_timers_installed = False  # type: ignore[attr-defined]

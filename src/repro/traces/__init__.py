@@ -3,7 +3,7 @@
 from . import file_io
 from .analysis import TraceProfile, analyse
 from .profiles import PROFILES, WORKLOAD_ORDER, BenchmarkProfile, profile
-from .record import TraceRecord
+from .record import TraceArray, TraceRecord
 from .synthetic import SyntheticTraceGenerator, generate_trace
 from .workload import Workload, homogeneous_workload, mixed_workload, paper_workloads
 
@@ -15,6 +15,7 @@ __all__ = [
     "WORKLOAD_ORDER",
     "BenchmarkProfile",
     "profile",
+    "TraceArray",
     "TraceRecord",
     "SyntheticTraceGenerator",
     "generate_trace",

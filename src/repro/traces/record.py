@@ -16,7 +16,10 @@ is the only payload property the evaluation depends on.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..config import LINE_BYTES
 from ..errors import TraceError
@@ -47,3 +50,70 @@ class TraceRecord:
     def page(self) -> int:
         """The 4 KB virtual page number of this reference."""
         return self.address >> 12
+
+
+class TraceArray(Sequence):
+    """A trace backed by columnar numpy arrays with a lazy record view.
+
+    Generation produces the three columns in one vectorized pass (see
+    :mod:`repro.traces.synthetic`); :class:`TraceRecord` objects are only
+    materialised when an element is accessed, so the engine's sequential
+    replay — and every list-style consumer (indexing, slicing, ``zip``,
+    equality, iteration) — works unchanged while synthesis stays free of
+    per-record Python loops.  Column layout matches the ``.npz`` trace
+    file format (``is_write`` bool, ``address``/``gap`` int64).
+    """
+
+    __slots__ = ("is_write", "address", "gap")
+
+    def __init__(
+        self, is_write: np.ndarray, address: np.ndarray, gap: np.ndarray
+    ):
+        if not (len(is_write) == len(address) == len(gap)):
+            raise TraceError("trace column lengths differ")
+        self.is_write = is_write
+        self.address = address
+        self.gap = gap
+
+    def __len__(self) -> int:
+        return len(self.gap)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TraceArray(
+                self.is_write[index], self.address[index], self.gap[index]
+            )
+        return TraceRecord(
+            is_write=bool(self.is_write[index]),
+            address=int(self.address[index]),
+            gap=int(self.gap[index]),
+        )
+
+    def __iter__(self):
+        # One bulk conversion instead of per-element numpy scalar boxing.
+        for w, a, g in zip(
+            self.is_write.tolist(), self.address.tolist(), self.gap.tolist()
+        ):
+            yield TraceRecord(is_write=w, address=a, gap=g)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TraceArray):
+            return (
+                np.array_equal(self.is_write, other.is_write)
+                and np.array_equal(self.address, other.address)
+                and np.array_equal(self.gap, other.gap)
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # mutable columns; records themselves stay hashable
+
+    def __repr__(self) -> str:
+        return f"TraceArray(length={len(self)})"

@@ -20,23 +20,24 @@ Generation is deterministic per (profile, seed, core index).
 from __future__ import annotations
 
 import zlib
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
-from ..config import LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES
+from ..config import LINES_PER_PAGE, PAGE_BYTES
 from ..errors import TraceError
 from .profiles import BenchmarkProfile, profile
-from .record import TraceRecord
+from .record import TraceArray, TraceRecord
 
 
 def _zipf_page_sampler(
     pages: int, s: float, rng: np.random.Generator
-) -> "np.ndarray":
+) -> Tuple[np.ndarray, np.ndarray]:
     """Pre-build a cumulative Zipf distribution over page *ranks*.
 
-    Page ranks are shuffled into page numbers so that popular pages are
-    spread across the address space (and hence across banks), as real
+    Returns the rank CDF together with the rank→page permutation: ranks
+    are shuffled into page numbers so that popular pages are spread
+    across the address space (and hence across banks), as real
     allocators do [17].
     """
     ranks = np.arange(1, pages + 1, dtype=np.float64)
@@ -66,8 +67,15 @@ class SyntheticTraceGenerator:
         #: distinguishable in merged dumps).
         self.base_page = base_page
 
-    def generate(self, length: int) -> List[TraceRecord]:
-        """Produce ``length`` trace records."""
+    def generate(self, length: int) -> TraceArray:
+        """Produce ``length`` trace records (as a lazy columnar view).
+
+        Fully vectorized: the two-mode address walk is resolved with a
+        ``maximum.accumulate`` over fresh-draw positions instead of a
+        per-record Python loop, consuming the *same* RNG draws in the
+        same order as the original scalar implementation (the loop never
+        touched the generator), so traces are byte-identical.
+        """
         if length < 0:
             raise TraceError("length must be >= 0")
         bench = self.profile
@@ -81,7 +89,7 @@ class SyntheticTraceGenerator:
         # Geometric gaps with the profile's mean; numpy's geometric counts
         # trials >= 1, so subtract one to allow back-to-back references.
         p = min(1.0, 1.0 / max(bench.mean_gap, 1.0))
-        gaps = rng.geometric(p, size=length) - 1
+        gaps = rng.geometric(p, size=length).astype(np.int64) - 1
         streaming = rng.random(length) < bench.seq_fraction
         fresh_draws = rng.random(length)
         # Line-within-page popularity is itself skewed (applications hammer
@@ -90,31 +98,37 @@ class SyntheticTraceGenerator:
         line_cdf, line_perm = _zipf_page_sampler(LINES_PER_PAGE, 0.9, rng)
         line_draws = rng.random(length)
 
-        records: List[TraceRecord] = []
-        page = int(perm[np.searchsorted(cdf, fresh_draws[0])])
-        line = int(line_perm[np.searchsorted(line_cdf, line_draws[0])])
-        for i in range(length):
-            if i and streaming[i]:
-                line += 1
-                if line >= LINES_PER_PAGE:
-                    line = 0
-                    page = (page + 1) % bench.working_set_pages
-            elif i:
-                page = int(perm[np.searchsorted(cdf, fresh_draws[i])])
-                rank = int(line_perm[np.searchsorted(line_cdf, line_draws[i])])
-                line = (rank + page * 7) % LINES_PER_PAGE
-            address = (self.base_page + page) * PAGE_BYTES + line * LINE_BYTES
-            records.append(
-                TraceRecord(
-                    is_write=bool(is_write[i]),
-                    address=address,
-                    gap=int(gaps[i]),
-                )
-            )
-        return records
+        if length == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return TraceArray(np.zeros(0, dtype=bool), empty, empty.copy())
+
+        # Fresh (page, line) for every position; streaming positions get
+        # theirs from the most recent fresh draw plus the run offset.
+        pages = perm[np.searchsorted(cdf, fresh_draws)].astype(np.int64)
+        ranks = line_perm[np.searchsorted(line_cdf, line_draws)].astype(np.int64)
+        fresh_line = (ranks + pages * 7) % LINES_PER_PAGE
+        # Global line index G = page * 64 + line; a streaming step is G + 1
+        # (mod working set), which folds the line-wrap page advance in.
+        fresh_global = pages * LINES_PER_PAGE + fresh_line
+        # The first reference takes its line rank unrotated (no run yet).
+        fresh_global[0] = pages[0] * LINES_PER_PAGE + ranks[0]
+
+        fresh = ~streaming
+        fresh[0] = True
+        idx = np.arange(length, dtype=np.int64)
+        last_fresh = np.maximum.accumulate(np.where(fresh, idx, 0))
+        total_lines = bench.working_set_pages * LINES_PER_PAGE
+        global_line = (fresh_global[last_fresh] + (idx - last_fresh)) % total_lines
+
+        # PAGE_BYTES == LINES_PER_PAGE * LINE_BYTES, so byte address is
+        # base offset + global line index * line size.
+        addresses = self.base_page * PAGE_BYTES + global_line * (
+            PAGE_BYTES // LINES_PER_PAGE
+        )
+        return TraceArray(is_write, addresses, gaps)
 
     def stream(self, length: int) -> Iterator[TraceRecord]:
-        """Iterate records without materialising the whole list."""
+        """Iterate records without materialising TraceRecord objects eagerly."""
         return iter(self.generate(length))
 
 
@@ -124,7 +138,7 @@ def generate_trace(
     seed: int = 0,
     core: int = 0,
     base_page: Optional[int] = None,
-) -> List[TraceRecord]:
+) -> TraceArray:
     """Convenience wrapper: trace for a named Table 3 benchmark."""
     bench = profile(benchmark)
     if base_page is None:

@@ -22,7 +22,7 @@ class Workload:
     """Named bundle of per-core traces plus their source profiles."""
 
     name: str
-    traces: List[List[TraceRecord]]
+    traces: List[Sequence[TraceRecord]]
     profiles: List[BenchmarkProfile]
     flip_fractions: List[float] = field(default_factory=list)
 
@@ -46,7 +46,12 @@ class Workload:
 
     @property
     def total_instructions(self) -> int:
-        return sum(len(t) + sum(r.gap for r in t) for t in self.traces)
+        total = 0
+        for t in self.traces:
+            gaps = getattr(t, "gap", None)  # columnar traces sum in numpy
+            total += len(t) + (int(gaps.sum()) if gaps is not None
+                               else sum(r.gap for r in t))
+        return total
 
 
 def homogeneous_workload(

@@ -1,0 +1,170 @@
+"""Property-based equivalence: fast bit kernels vs the scalar references.
+
+The int-domain and batched kernels in :mod:`repro.pcm.line` claim to be
+bit-for-bit and RNG-draw-for-draw identical to the original
+``unpackbits``-based implementations (kept as ``_scalar_*``).  These
+tests check that claim on random masks, edge probabilities, and empty
+candidate sets under fixed seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LINE_BITS, LINE_WORDS
+from repro.pcm import line as L
+
+# Random 512-bit masks as (8,) uint64 arrays; bias toward sparse masks
+# (the common case: a handful of disturbed cells) plus dense extremes.
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+masks = st.one_of(
+    st.lists(
+        st.integers(0, LINE_BITS - 1), unique=True, max_size=24
+    ).map(L.mask_from_positions),
+    st.lists(words, min_size=LINE_WORDS, max_size=LINE_WORDS).map(
+        lambda ws: np.array(ws, dtype=L.WORD_DTYPE)
+    ),
+)
+probabilities = st.one_of(
+    st.just(0.0),
+    st.just(1.0),
+    st.just(1e-12),
+    st.just(1.0 - 1e-12),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestCountKernels:
+    @given(masks)
+    def test_popcount_matches_scalar(self, mask):
+        assert L.popcount(mask) == L._scalar_popcount(mask)
+
+    @given(masks)
+    def test_popcount_int_matches_scalar(self, mask):
+        assert L.popcount(L.to_int(mask)) == L._scalar_popcount(mask)
+
+    @given(masks)
+    def test_bit_positions_matches_scalar(self, mask):
+        assert L.bit_positions(mask) == L._scalar_bit_positions(mask)
+
+    @given(masks)
+    def test_bit_positions_int_matches_scalar(self, mask):
+        assert L.bit_positions_int(L.to_int(mask)) == L._scalar_bit_positions(mask)
+
+    @given(st.lists(masks, max_size=6))
+    def test_popcount_rows_matches_scalar(self, rows):
+        stacked = (
+            np.stack(rows)
+            if rows
+            else np.zeros((0, LINE_WORDS), dtype=L.WORD_DTYPE)
+        )
+        expected = [L._scalar_popcount(row) for row in rows]
+        assert L.popcount_rows(stacked).tolist() == expected
+
+
+class TestSampleMask:
+    @settings(max_examples=200)
+    @given(masks, probabilities, seeds)
+    def test_sample_mask_matches_scalar(self, mask, p, seed):
+        fast = L.sample_mask(mask, p, np.random.default_rng(seed))
+        ref = L._scalar_sample_mask(mask, p, np.random.default_rng(seed))
+        assert np.array_equal(fast, ref)
+
+    @settings(max_examples=200)
+    @given(masks, probabilities, seeds)
+    def test_sample_mask_int_matches_scalar(self, mask, p, seed):
+        fast = L.sample_mask_int(L.to_int(mask), p, np.random.default_rng(seed))
+        ref = L._scalar_sample_mask(mask, p, np.random.default_rng(seed))
+        assert fast == L.to_int(ref)
+
+    @given(masks, probabilities, seeds)
+    def test_rng_stream_position_matches_scalar(self, mask, p, seed):
+        """Both paths must consume the exact same number of draws."""
+        fast_rng = np.random.default_rng(seed)
+        ref_rng = np.random.default_rng(seed)
+        L.sample_mask(mask, p, fast_rng)
+        L._scalar_sample_mask(mask, p, ref_rng)
+        assert fast_rng.random() == ref_rng.random()
+
+    def test_empty_candidates_draw_nothing(self):
+        rng = np.random.default_rng(7)
+        before = rng.bit_generator.state["state"]["state"]
+        assert L.popcount(L.sample_mask(L.zero_line(), 0.5, rng)) == 0
+        assert L.sample_mask_int(0, 0.5, rng) == 0
+        assert rng.bit_generator.state["state"]["state"] == before
+
+    def test_edge_probabilities_draw_nothing(self):
+        mask = L.full_line()
+        rng = np.random.default_rng(11)
+        before = rng.bit_generator.state["state"]["state"]
+        assert L.popcount(L.sample_mask(mask, 0.0, rng)) == 0
+        assert np.array_equal(L.sample_mask(mask, 1.0, rng), mask)
+        assert rng.bit_generator.state["state"]["state"] == before
+
+
+class TestBatchedSamplers:
+    """Batched kernels must equal sequential calls on one shared stream."""
+
+    @settings(max_examples=150)
+    @given(st.lists(masks, max_size=5), probabilities, seeds)
+    def test_sample_masks_matches_sequential_scalar(self, rows, p, seed):
+        stacked = (
+            np.stack(rows)
+            if rows
+            else np.zeros((0, LINE_WORDS), dtype=L.WORD_DTYPE)
+        )
+        batched = L.sample_masks(stacked, p, np.random.default_rng(seed))
+        seq_rng = np.random.default_rng(seed)
+        for r, row in enumerate(rows):
+            expected = L._scalar_sample_mask(row, p, seq_rng)
+            assert np.array_equal(batched[r], expected)
+
+    @settings(max_examples=150)
+    @given(st.lists(masks, max_size=5), probabilities, seeds)
+    def test_sample_masks_int_matches_sequential_scalar(self, rows, p, seed):
+        values = [L.to_int(row) for row in rows]
+        batched = L.sample_masks_int(values, p, np.random.default_rng(seed))
+        seq_rng = np.random.default_rng(seed)
+        for r, row in enumerate(rows):
+            expected = L._scalar_sample_mask(row, p, seq_rng)
+            assert batched[r] == L.to_int(expected)
+
+    @given(st.lists(masks, max_size=5), seeds)
+    def test_batched_stream_position_matches_sequential(self, rows, seed):
+        stacked = (
+            np.stack(rows)
+            if rows
+            else np.zeros((0, LINE_WORDS), dtype=L.WORD_DTYPE)
+        )
+        batched_rng = np.random.default_rng(seed)
+        seq_rng = np.random.default_rng(seed)
+        L.sample_masks(stacked, 0.5, batched_rng)
+        for row in rows:
+            L._scalar_sample_mask(row, 0.5, seq_rng)
+        assert batched_rng.random() == seq_rng.random()
+
+    def test_empty_batch(self):
+        empty = np.zeros((0, LINE_WORDS), dtype=L.WORD_DTYPE)
+        assert L.sample_masks(empty, 0.5, np.random.default_rng(0)).shape == (
+            0,
+            LINE_WORDS,
+        )
+        assert L.sample_masks_int([], 0.5, np.random.default_rng(0)) == []
+
+
+class TestIntRoundTrip:
+    @given(masks)
+    def test_to_from_int(self, mask):
+        assert np.array_equal(L.from_int(L.to_int(mask)), mask)
+
+    @given(masks)
+    def test_shift_kernels_match_array_forms(self, mask):
+        value = L.to_int(mask)
+        assert L.shift_left_int(value) == L.to_int(L.shift_left(mask))
+        assert L.shift_right_int(value) == L.to_int(L.shift_right(mask))
+        assert L.wordline_neighbours_int(value) == L.to_int(
+            L.wordline_neighbours(mask)
+        )

@@ -9,6 +9,7 @@ from repro.errors import ConfigError
 from repro.pcm import constants as C
 from repro.pcm.disturbance import (
     DisturbanceModel,
+    _solve_arrhenius,
     default_disturbance_model,
     table1_rates,
 )
@@ -64,3 +65,30 @@ class TestModelShape:
     def test_invalid_pulse_rejected(self):
         with pytest.raises(ConfigError):
             DisturbanceModel(pulse_s=0.0)
+
+
+class TestCachedSolver:
+    """The lru_cache on _solve_arrhenius must not change the calibration."""
+
+    def test_cached_and_fresh_solutions_identical(self):
+        cached = _solve_arrhenius()
+        _solve_arrhenius.cache_clear()
+        fresh = _solve_arrhenius()
+        assert fresh == cached  # bit-identical, not approx
+
+    def test_cache_is_hit_on_repeat_calls(self, model):
+        _solve_arrhenius.cache_clear()
+        model.error_rate(330.0)
+        model.error_rate(340.0)
+        info = _solve_arrhenius.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 1
+
+    def test_anchors_survive_caching(self, model):
+        """Table 1 anchors through the cached path: 310°C → 9.9%, 320°C → 11.5%."""
+        assert model.error_rate(C.ANCHOR_WORDLINE_TEMP_C) == pytest.approx(
+            C.ANCHOR_WORDLINE_RATE, abs=1e-12
+        )
+        assert model.error_rate(C.ANCHOR_BITLINE_TEMP_C) == pytest.approx(
+            C.ANCHOR_BITLINE_RATE, abs=1e-12
+        )
