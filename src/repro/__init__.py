@@ -6,6 +6,7 @@ Top-level convenience exports; see README.md for the package map.
 
 from .config import (
     DisturbanceConfig,
+    FaultConfig,
     MemoryConfig,
     SchemeConfig,
     SystemConfig,
@@ -23,6 +24,7 @@ __all__ = [
     "MemoryConfig",
     "SchemeConfig",
     "DisturbanceConfig",
+    "FaultConfig",
     "SDPCMSystem",
     "SimulationResult",
     "simulate",

@@ -55,9 +55,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for simulation cells (default REPRO_JOBS "
         "or the CPU count)",
     )
+    exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments the checkpoint manifest records as "
+        "completed under the current parameters",
+    )
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("stats", "clear"))
+
+    faults_p = sub.add_parser("faults", help="fault-injection tooling")
+    faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
+    fsweep = faults_sub.add_parser(
+        "sweep",
+        help="run the scheme line-up under injected faults and report "
+        "end-to-end uncorrectable-error rates",
+    )
+    fsweep.add_argument("--workload", default="mcf", choices=WORKLOAD_ORDER)
+    fsweep.add_argument(
+        "--profile",
+        action="append",
+        choices=("light", "stress"),
+        help="fault intensity; repeatable (default: both)",
+    )
+    fsweep.add_argument("--length", type=int, default=None)
+    fsweep.add_argument("--cores", type=int, default=None)
+    fsweep.add_argument("--seed", type=int, default=1)
+    fsweep.add_argument(
+        "--fault-seed",
+        type=int,
+        default=3,
+        help="seed of the fault plan's RNG streams (fixed seed => "
+        "bit-identical sweep)",
+    )
+    fsweep.add_argument("--jobs", type=int, default=None)
 
     perf_p = sub.add_parser("perf", help="performance tooling")
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
@@ -164,10 +196,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(names: List[str], jobs: Optional[int] = None) -> int:
+def _cmd_experiment(
+    names: List[str], jobs: Optional[int] = None, resume: bool = False
+) -> int:
     from .experiments import runner
 
     argv = ["--jobs", str(jobs)] if jobs is not None else []
+    if resume:
+        argv = ["--resume"] + argv
     return runner.main(argv + names)
 
 
@@ -186,11 +222,32 @@ def _cmd_cache(action: str) -> int:
         ["enabled", info.enabled],
         ["entries", info.entries],
         ["size (KiB)", info.bytes / 1024.0],
+        ["session corrupt evictions", info.corrupt_evictions],
         ["session cache hits", STATS.cache_hits],
         ["session simulated", STATS.simulated],
         ["session deduplicated", STATS.deduplicated],
     ]
     print(format_table("result cache", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    from .faults import sweep
+    from .perf import engine
+
+    if args.jobs is not None:
+        engine.configure(jobs=args.jobs)
+    for result in sweep.sweep_rows(
+        profiles=args.profile,
+        bench=args.workload,
+        length=args.length,
+        cores=args.cores,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+    ):
+        print(result.render())
+        print()
+    print(f"  [engine: {engine.STATS.summary()}]")
     return 0
 
 
@@ -274,9 +331,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.names, jobs=args.jobs)
+        return _cmd_experiment(args.names, jobs=args.jobs, resume=args.resume)
     if args.command == "cache":
         return _cmd_cache(args.action)
+    if args.command == "faults":
+        return _cmd_faults_sweep(args)
     if args.command == "perf":
         return _cmd_perf_profile(args)
     if args.command == "gen-trace":

@@ -131,6 +131,55 @@ class DisturbanceConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic device-fault injection (the chaos model).
+
+    All faults are sampled from dedicated per-line RNG streams derived from
+    ``seed`` — never from the simulation's main RNG — so enabling a fault
+    plan does not perturb the disturbance/payload sample path, and a
+    fault-free run is byte-identical to one with no :class:`FaultConfig`
+    at all.  Three fault classes from the PCM reliability literature:
+
+    * **stuck-at cells** — wear-out: cells that can no longer change phase.
+      They are immune to WD, are covered by ECP hard-error entries while
+      entries last, and become *uncorrectable* once the line's ECP is
+      exhausted (driving the :class:`~repro.errors.ECPExhaustedError`
+      fallback).
+    * **resistance drift** — amorphous cells slowly lose resistance and
+      read as ``1``; modelled as extra error bits surfacing at write-time
+      verification, which stresses LazyCorrection overflow.
+    * **ECP entry hard failures** — correction entries themselves wear out,
+      shrinking the per-line ECP capacity.
+    """
+
+    enabled: bool = False
+    seed: int = 0
+    #: Poisson mean of stuck-at cells per 512-cell line.
+    stuck_cells_per_line: float = 0.0
+    #: Per-vulnerable-cell probability of a drift flip per verified write.
+    drift_flip_prob: float = 0.0
+    #: Independent probability that each ECP entry of a line is dead.
+    ecp_entry_failure_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stuck_cells_per_line < 0:
+            raise ConfigError("stuck_cells_per_line must be >= 0")
+        for name in ("drift_flip_prob", "ecp_entry_failure_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value!r}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can actually be injected."""
+        return self.enabled and (
+            self.stuck_cells_per_line > 0
+            or self.drift_flip_prob > 0
+            or self.ecp_entry_failure_prob > 0
+        )
+
+
+@dataclass(frozen=True)
 class SchemeConfig:
     """Which SD-PCM mechanisms are active (Section 5.3's compared schemes).
 
@@ -213,6 +262,7 @@ class SystemConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     disturbance: DisturbanceConfig = field(default_factory=DisturbanceConfig)
     scheme: SchemeConfig = field(default_factory=SchemeConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -226,3 +276,7 @@ class SystemConfig:
     def with_seed(self, seed: int) -> "SystemConfig":
         """Return a copy of this configuration with a different RNG seed."""
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: FaultConfig) -> "SystemConfig":
+        """Return a copy of this configuration with a fault-injection plan."""
+        return replace(self, faults=faults)

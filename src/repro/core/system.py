@@ -28,6 +28,7 @@ from ..config import SystemConfig
 from ..ecp.chip import ECPChip
 from ..ecp.wear import WearModel
 from ..errors import SimulationError
+from ..faults.plan import build_plan
 from ..mem.address import AddressMapper
 from ..mem.controller import MemoryController
 from ..pcm.array import PCMArray
@@ -60,7 +61,11 @@ class SDPCMSystem:
         self.array = PCMArray(
             banks=mem.banks, rows_per_bank=mem.rows_per_bank, seed=config.seed
         )
-        self.ecp = ECPChip(entries_per_line=config.scheme.ecp_entries)
+        self.fault_plan = build_plan(config.faults)
+        self.ecp = ECPChip(
+            entries_per_line=config.scheme.ecp_entries,
+            fault_plan=self.fault_plan,
+        )
         self.allocator = NMAllocManager(total_frames=mem.total_pages)
         self.counters = Counters()
         self.rng = np.random.default_rng(config.seed)
@@ -93,6 +98,7 @@ class SDPCMSystem:
             flip_fractions=list(workload.flip_fractions),
             lifetime_fraction=self.lifetime_fraction,
             wear_model=self.wear_model,
+            fault_plan=self.fault_plan,
         )
         controller = MemoryController(
             memory=config.memory,
@@ -117,6 +123,7 @@ class SDPCMSystem:
             loop=self.loop,
         )
         engine.run()
+        self.counters.fault_dead_ecp_entries = self.ecp.dead_entries_total
         return SimulationResult(
             workload=workload.name,
             scheme=self._scheme_label(),

@@ -38,7 +38,8 @@ from ..alloc.strips import adjacent_usage, is_no_use
 from ..config import LINE_BITS, DisturbanceConfig, SchemeConfig, TimingConfig
 from ..ecp.chip import ECPChip
 from ..ecp.wear import WearModel
-from ..errors import SimulationError
+from ..errors import ECPExhaustedError, SimulationError
+from ..faults.plan import FaultPlan
 from ..mem.controller import WriteOp
 from ..mem.request import PrereadSlot, Request, WriteEntry
 from ..pcm import line as L
@@ -132,6 +133,7 @@ class VnCExecutor:
         flip_fractions: Optional[List[float]] = None,
         lifetime_fraction: float = 0.0,
         wear_model: Optional[WearModel] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.array = array
         self.ecp = ecp
@@ -153,6 +155,12 @@ class VnCExecutor:
         self.lifetime_fraction = lifetime_fraction
         self._wear_model = wear_model or WearModel()
         self._hard_seeded: Set[Key] = set()
+        #: Injected-fault state (all sampling uses the plan's own streams,
+        #: never ``self.rng``, so fault-free sample paths are untouched).
+        self.fault_plan = fault_plan
+        self._fault_seeded: Set[Key] = set()
+        #: Stuck cells the line's exhausted ECP could not cover (int masks).
+        self._stuck_uncovered: Dict[Key, int] = {}
         #: Per-line masks of disturbance-prone cells (process variation).
         self._weak_masks: Dict[Key, int] = {}
         #: Per-line pools of recurring write flip patterns (data entropy).
@@ -243,11 +251,19 @@ class VnCExecutor:
         return cached
 
     def _invulnerable_int(self, key: Key) -> int:
-        """Cells of a line immune to WD: stuck-at (hard-error) cells."""
+        """Cells of a line immune to WD: stuck-at (hard-error) cells.
+
+        Covers both ECP-registered hard errors and injected stuck cells
+        the exhausted ECP could not register — a worn-out cell has no
+        phase left to change either way.
+        """
+        stuck = 0
+        if self.fault_plan is not None:
+            stuck = self.fault_plan.stuck_profile(key).mask
         line = self.ecp.peek(key)
-        if line is None or not line.hard_count:
-            return 0
-        return L.to_int(line.hard_mask())
+        if line is not None and line.hard_count:
+            stuck |= L.to_int(line.hard_mask())
+        return stuck
 
     def _weak_mask(self, key: Key) -> int:
         """The line's fixed set of disturbance-prone cells [4, 13, 25].
@@ -307,7 +323,34 @@ class VnCExecutor:
             positions = rng.choice(LINE_BITS, size=count, replace=False)
             for pos in positions:
                 line.add_hard_error(int(pos), int(rng.integers(2)))
+        self._fault_seed(key, line)
         return line
+
+    def _fault_seed(self, key: Key, line) -> None:
+        """Register the plan's stuck cells as ECP hard errors (first touch).
+
+        This is Section 4.2's exhaustion path made reachable: stuck cells
+        beyond the line's (possibly fault-shrunk) ECP capacity raise
+        :class:`ECPExhaustedError`, which is absorbed here — the line
+        degrades to partial coverage and its uncovered stuck cells are
+        charged as uncorrectable on every subsequent demand write.
+        """
+        if self.fault_plan is None or key in self._fault_seeded:
+            return
+        self._fault_seeded.add(key)
+        profile = self.fault_plan.stuck_profile(key)
+        if not profile.mask:
+            return
+        self.counters.fault_stuck_cells += profile.count
+        uncovered = 0
+        for pos in L.bit_positions_int(profile.mask):
+            try:
+                line.add_hard_error(pos, (profile.values >> pos) & 1)
+            except ECPExhaustedError:
+                uncovered |= 1 << pos
+        if uncovered:
+            self.counters.ecp_exhausted_lines += 1
+            self._stuck_uncovered[key] = uncovered
 
     def _plan(self, entry: WriteEntry) -> _Plan:
         plan = _Plan()
@@ -365,6 +408,21 @@ class VnCExecutor:
             plan.bump("ecp_cleared_by_write", existing_ecp.wd_count)
             plan.ecp_clears.add(key)
 
+        # ---- stuck-at faults on the written line ---------------------------
+        if self.fault_plan is not None:
+            stuck = self.fault_plan.stuck_profile(key)
+            if stuck.mask:
+                # Materialise the line's ECP cover (and the exhaustion
+                # fallback) on first touch, then charge the bits no entry
+                # covers and whose frozen value disagrees with this write.
+                self._ecp_line(key)
+                uncovered = self._stuck_uncovered.get(key, 0)
+                wrong = L.stuck_error_mask_int(
+                    stored_new, stuck.mask, stuck.values
+                ) & uncovered
+                if wrong:
+                    plan.bump("uncorrectable_bits", wrong.bit_count())
+
         if scheme.wd_free_bitlines or not self.disturbance.enabled:
             return plan  # 8F^2 chip: no bit-line WD, no VnC.
 
@@ -393,7 +451,7 @@ class VnCExecutor:
         injection_targets = victims if scheme.vnc else [
             nb for nb in self.array.bitline_neighbours(addr)
         ]
-        staged: List[Tuple[LineAddress, _Shadow, int, int]] = []
+        staged: List[Tuple[LineAddress, _Shadow, int, int, int]] = []
         for vaddr in injection_targets:
             vshadow = self._shadow(plan, vaddr)
             vulnerable = wplan.reset_mask & (vshadow.physical ^ L.MASK_ALL)
@@ -401,19 +459,33 @@ class VnCExecutor:
             if stuck:
                 vulnerable &= stuck ^ L.MASK_ALL
             weak = vulnerable & self._weak_mask(_key(vaddr))
-            staged.append((vaddr, vshadow, vulnerable, weak))
+            drift = 0
+            if self.fault_plan is not None:
+                # Resistance drift: any idle amorphous (non-stuck) cell can
+                # have drifted since the last verification, not just cells
+                # under this write's RESET pulses.  Sampled from the plan's
+                # own stream, so it never perturbs ``self.rng``.
+                candidates = (vshadow.physical ^ L.MASK_ALL) & (
+                    stuck ^ L.MASK_ALL
+                )
+                drift = self.fault_plan.drift_mask(_key(vaddr), candidates)
+            staged.append((vaddr, vshadow, vulnerable, weak, drift))
         sampled_masks = L.sample_masks_int(
-            [weak for _, _, _, weak in staged],
+            [weak for _, _, _, weak, _ in staged],
             self.disturbance.p_bitline_weak,
             self.rng,
         )
-        for (vaddr, vshadow, vulnerable, _), sampled in zip(
+        for (vaddr, vshadow, vulnerable, _, drift), sampled in zip(
             staged, sampled_masks
         ):
             errors = sampled.bit_count()
             plan.bump("bitline_vulnerable_cells", vulnerable.bit_count())
             plan.bump("bitline_errors", errors)
             plan.adjacent_notes.append(errors)
+            new_drift = drift & ~sampled
+            if new_drift:
+                plan.bump("drift_flips", new_drift.bit_count())
+                sampled |= new_drift
             vshadow.disturbed |= sampled
             vshadow.write_back = True
             plan.injections.append((vaddr, sampled))

@@ -51,12 +51,19 @@ class ECPChip:
     WD error programs a 10-bit entry, Section 6.7).
     """
 
-    def __init__(self, entries_per_line: int = 6):
+    def __init__(self, entries_per_line: int = 6, fault_plan=None):
+        """``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) models
+        per-entry wear-out: dead entries shrink a line's usable capacity at
+        materialisation time, pushing LazyCorrection toward overflow and
+        hard errors toward ECP exhaustion."""
         if entries_per_line < 0:
             raise DeviceError("entries_per_line must be >= 0")
         self.entries_per_line = entries_per_line
+        self.fault_plan = fault_plan
         self.geometry = ECPChipGeometry()
         self._lines: Dict[LineKey, ECPLine] = {}
+        #: Entries lost to injected entry wear-out across all touched lines.
+        self.dead_entries_total = 0
         #: Total cell writes performed on the ECP chip by entry programming.
         self.entry_cell_writes = 0
         #: Cell writes the ECP region would see anyway from demand writes
@@ -68,7 +75,12 @@ class ECPChip:
         """The ECP state of one protected data line (materialised lazily)."""
         state = self._lines.get(key)
         if state is None:
-            state = ECPLine(self.entries_per_line)
+            capacity = self.entries_per_line
+            if self.fault_plan is not None:
+                dead = self.fault_plan.dead_entries(key, capacity)
+                capacity -= dead
+                self.dead_entries_total += dead
+            state = ECPLine(capacity)
             self._lines[key] = state
         return state
 

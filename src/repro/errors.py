@@ -37,3 +37,20 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent internal state."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan could not be constructed or applied to the device model."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (or its process pool broke) while simulating a cell.
+
+    Raised to callers only after every retry round *and* the in-process
+    serial fallback have failed; otherwise the crash is absorbed by the
+    engine's failure-handling ladder and only counted in ``EngineStats``.
+    """
+
+
+class CellTimeoutError(ReproError):
+    """A cell exceeded the per-cell wall-clock budget (``REPRO_CELL_TIMEOUT``)."""

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..config import (
     DisturbanceConfig,
+    FaultConfig,
     MemoryConfig,
     SchemeConfig,
     SystemConfig,
@@ -79,6 +80,7 @@ def cell(
     lifetime_fraction: float = 0.0,
     disturbance: Optional[DisturbanceConfig] = None,
     timing: Optional[TimingConfig] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> CellSpec:
     """Describe one (workload, scheme) cell with the standard configuration."""
     length = length or trace_length()
@@ -92,6 +94,7 @@ def cell(
         memory=memory,
         disturbance=disturbance if disturbance is not None else DisturbanceConfig(),
         scheme=scheme,
+        faults=faults if faults is not None else FaultConfig(),
         seed=seed,
     )
     return CellSpec(

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments.runner figure11         # one experiment
     python -m repro.experiments.runner figure11 --jobs 4     # parallel cells
     python -m repro.experiments.runner --json out figure11   # + JSON export
+    python -m repro.experiments.runner --resume         # continue a sweep
     REPRO_TRACE_LEN=4000 python -m repro.experiments.runner
 
 Timing-simulation experiments scale with REPRO_TRACE_LEN; the analytic ones
@@ -13,12 +14,23 @@ Timing-simulation experiments scale with REPRO_TRACE_LEN; the analytic ones
 :mod:`repro.perf` engine: ``--jobs``/``REPRO_JOBS`` fans cold cells out over
 a process pool, and finished cells are cached on disk (``REPRO_CACHE_DIR``)
 so re-runs skip them entirely.
+
+Long sweeps are interrupt-safe: every completed experiment is checkpointed
+to a manifest next to the result cache, and Ctrl-C exits cleanly after
+flushing what finished.  ``--resume`` skips every experiment the manifest
+records as completed under the same trace length / core count / cache
+schema — combined with the warm result cache, a restarted sweep fast-forwards
+to the first unfinished experiment at almost no cost.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+import tempfile
 import time
+from pathlib import Path
 from typing import Callable, Dict
 
 from . import (
@@ -71,14 +83,89 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
+# -- sweep checkpointing ---------------------------------------------------------
+
+
+def manifest_path() -> Path:
+    """Where the completed-experiment manifest lives (beside the cache)."""
+    from ..perf.cache import default_cache_dir
+
+    return default_cache_dir() / "runner_manifest.json"
+
+
+def _manifest_stamp() -> Dict[str, object]:
+    """The parameters a completed experiment is valid under."""
+    from ..perf.cellspec import CACHE_SCHEMA_VERSION
+    from .common import core_count, trace_length
+
+    return {
+        "trace_len": trace_length(),
+        "cores": core_count(),
+        "schema": CACHE_SCHEMA_VERSION,
+    }
+
+
+def load_manifest() -> Dict[str, Dict[str, object]]:
+    """Completed experiments from disk ({} when absent or unreadable)."""
+    path = manifest_path()
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        # A torn manifest only costs re-running experiments whose cells
+        # are cached anyway; never let it kill the sweep.
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def save_manifest(manifest: Dict[str, Dict[str, object]]) -> None:
+    """Atomically persist the manifest (tempfile + rename)."""
+    path = manifest_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def mark_completed(name: str) -> None:
+    """Checkpoint one finished experiment."""
+    manifest = load_manifest()
+    entry = dict(_manifest_stamp())
+    entry["finished_at"] = time.time()
+    manifest[name] = entry
+    save_manifest(manifest)
+
+
+def is_completed(name: str, manifest: Dict[str, Dict[str, object]]) -> bool:
+    """Whether the manifest records ``name`` done under current parameters."""
+    entry = manifest.get(name)
+    if not isinstance(entry, dict):
+        return False
+    stamp = _manifest_stamp()
+    return all(entry.get(key) == value for key, value in stamp.items())
+
+
 def main(argv: list[str]) -> int:
     json_dir = None
     jobs = None
+    resume = False
     names: list[str] = []
     argv = list(argv)
     while argv:
         arg = argv.pop(0)
-        if arg in ("--json", "--jobs"):
+        if arg == "--resume":
+            resume = True
+        elif arg in ("--json", "--jobs"):
             if not argv:
                 print(f"{arg} requires a value")
                 return 2
@@ -103,16 +190,37 @@ def main(argv: list[str]) -> int:
         return 2
     if jobs is not None:
         engine.configure(jobs=jobs)
-    for name in requested:
-        start = time.time()
-        result = EXPERIMENTS[name]()
-        print(result.render())
-        print(f"  [{name} finished in {time.time() - start:.1f}s]\n")
-        if json_dir is not None:
-            from . import export
+    manifest = load_manifest() if resume else {}
+    if not resume:
+        # A fresh sweep starts a fresh checkpoint ledger.
+        save_manifest({})
+    completed = 0
+    try:
+        for name in requested:
+            if resume and is_completed(name, manifest):
+                print(f"  [{name} already completed; skipped (--resume)]\n")
+                completed += 1
+                continue
+            start = time.time()
+            result = EXPERIMENTS[name]()
+            print(result.render())
+            print(f"  [{name} finished in {time.time() - start:.1f}s]\n")
+            if json_dir is not None:
+                from . import export
 
-            path = export.write_json(result, f"{json_dir}/{name}.json")
-            print(f"  [wrote {path}]")
+                path = export.write_json(result, f"{json_dir}/{name}.json")
+                print(f"  [wrote {path}]")
+            mark_completed(name)
+            completed += 1
+    except KeyboardInterrupt:
+        # Finished experiments are already checkpointed (and their cells
+        # cached); report how to pick the sweep back up and exit cleanly.
+        print(
+            f"\n  [interrupted after {completed}/{len(requested)} "
+            f"experiments; finished work is checkpointed in "
+            f"{manifest_path()} — rerun with --resume to continue]"
+        )
+        return 130
     runner = engine.get_runner()
     print(
         f"  [engine: {engine.STATS.summary()}; jobs={runner.jobs}, "

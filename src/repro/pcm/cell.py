@@ -61,3 +61,28 @@ def disturbed_value() -> int:
     reducing resistance, i.e. the cell reads as ``1``.
     """
     return CellState.CRYSTALLINE.bit
+
+
+class CellFault(IntEnum):
+    """Permanent wear-out failure modes of one SLC cell.
+
+    A worn-out cell's heater or GST volume can no longer switch phase, so
+    the cell is frozen in whichever state it failed in.  Stuck cells are
+    immune to write disturbance (no phase left to change) and must be
+    covered by an ECP entry to stay readable.
+    """
+
+    #: Frozen amorphous: always reads the high-resistance bit ``0``.
+    STUCK_AMORPHOUS = 0
+    #: Frozen crystalline: always reads the low-resistance bit ``1``.
+    STUCK_CRYSTALLINE = 1
+
+    @property
+    def stuck_bit(self) -> int:
+        """The bit a reader always observes from this failed cell."""
+        return int(self)
+
+    @property
+    def state(self) -> CellState:
+        """The phase the cell is frozen in."""
+        return CellState(int(self))

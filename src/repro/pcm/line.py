@@ -190,6 +190,28 @@ def wordline_neighbours_int(value: int) -> int:
     return ((value & _NO_MSBS) << 1) | ((value & _NO_LSBS) >> 1)
 
 
+# -- stuck-at faults -------------------------------------------------------------
+
+
+def apply_stuck_int(physical: int, stuck_mask: int, stuck_values: int) -> int:
+    """Overlay stuck-at cells onto an int-domain physical line image.
+
+    Cells in ``stuck_mask`` read their frozen value from ``stuck_values``
+    (which must be a subset of ``stuck_mask``) regardless of what was
+    programmed; all other cells pass through unchanged.
+    """
+    return (physical & (stuck_mask ^ MASK_ALL)) | (stuck_values & stuck_mask)
+
+
+def stuck_error_mask_int(intended: int, stuck_mask: int, stuck_values: int) -> int:
+    """Stuck cells whose frozen value differs from the intended image.
+
+    These are the bits a raw read returns wrong; they are correctable only
+    while an ECP entry covers them.
+    """
+    return (intended ^ stuck_values) & stuck_mask
+
+
 # -- disturbance sampling --------------------------------------------------------
 
 

@@ -9,6 +9,7 @@ cannot leave a partially written entry behind.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -20,6 +21,28 @@ from ..core.results import SimulationResult
 
 _SUFFIX = ".pkl"
 
+_LOG = logging.getLogger("repro.perf")
+
+#: Corrupt entries evicted by ``load`` in this process (truncated pickles,
+#: wrong-type payloads, unreadable files).  Session-wide, like
+#: :data:`repro.perf.engine.STATS`.
+_CORRUPT_EVICTIONS = 0
+
+#: Exceptions ``load`` treats as a corrupt entry.  Anything else —
+#: notably MemoryError / RecursionError / KeyboardInterrupt — propagates
+#: rather than silently deleting a possibly-good entry.
+_CORRUPT_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    TypeError,
+    UnicodeDecodeError,
+    OSError,
+)
+
 
 @dataclass(frozen=True)
 class CacheInfo:
@@ -29,6 +52,19 @@ class CacheInfo:
     enabled: bool
     entries: int
     bytes: int
+    #: Corrupt entries this *process* has evicted (not an on-disk count).
+    corrupt_evictions: int = 0
+
+
+def corrupt_evictions() -> int:
+    """Corrupt entries evicted by this process so far."""
+    return _CORRUPT_EVICTIONS
+
+
+def reset_corrupt_evictions() -> None:
+    """Zero the session eviction counter (test isolation)."""
+    global _CORRUPT_EVICTIONS
+    _CORRUPT_EVICTIONS = 0
 
 
 def default_cache_dir() -> Path:
@@ -54,7 +90,12 @@ class ResultCache:
         return self.root / f"{key}{_SUFFIX}"
 
     def load(self, key: str) -> Optional[SimulationResult]:
-        """The cached result for ``key``, or None on miss/corruption."""
+        """The cached result for ``key``, or None on miss/corruption.
+
+        Corrupt entries — truncated/garbage pickles, pickles of the wrong
+        type, unreadable files — are evicted so the store after the miss
+        replaces them with a good one (instead of re-missing forever).
+        """
         if not self.enabled:
             return None
         path = self._path(key)
@@ -63,12 +104,24 @@ class ResultCache:
                 result = pickle.load(fh)
         except FileNotFoundError:
             return None
-        except Exception:
-            # A truncated or stale-format entry is just a miss; drop it so
-            # the rewrite below replaces it with a good one.
-            path.unlink(missing_ok=True)
+        except _CORRUPT_ERRORS as exc:
+            self._evict_corrupt(path, repr(exc))
             return None
-        return result if isinstance(result, SimulationResult) else None
+        if not isinstance(result, SimulationResult):
+            self._evict_corrupt(path, f"payload is {type(result).__name__}")
+            return None
+        return result
+
+    @staticmethod
+    def _evict_corrupt(path: Path, reason: str) -> None:
+        global _CORRUPT_EVICTIONS
+        _CORRUPT_EVICTIONS += 1
+        _LOG.debug("evicting corrupt cache entry %s (%s)", path, reason)
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            # e.g. the "entry" is a directory; leave it, stay a miss.
+            _LOG.debug("could not evict %s", path)
 
     def store(self, key: str, result: SimulationResult) -> None:
         if not self.enabled:
@@ -97,14 +150,25 @@ class ResultCache:
                     continue
                 entries += 1
         return CacheInfo(
-            root=str(self.root), enabled=self.enabled, entries=entries, bytes=size
+            root=str(self.root),
+            enabled=self.enabled,
+            entries=entries,
+            bytes=size,
+            corrupt_evictions=_CORRUPT_EVICTIONS,
         )
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry; returns the number removed.
+
+        Only actual deletions count: a concurrent process racing us to an
+        entry (``FileNotFoundError``) does not inflate the total.
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob(f"*{_SUFFIX}"):
-                path.unlink(missing_ok=True)
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
                 removed += 1
         return removed

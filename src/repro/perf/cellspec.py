@@ -19,7 +19,9 @@ from ..core.results import SimulationResult
 
 #: Bump whenever simulator behaviour changes in a way that alters results
 #: for an unchanged spec — it invalidates every previously cached cell.
-CACHE_SCHEMA_VERSION = 1
+#: v2: ``SystemConfig`` grew the ``faults`` fault-injection block, so every
+#: spec (fault-free ones included) hashes differently from v1.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -14,19 +14,38 @@ modules use.  It guarantees:
 Worker count comes from, in priority order: an explicit ``jobs=``
 argument (the runner's ``--jobs`` flag), the ``REPRO_JOBS`` environment
 variable, then ``os.cpu_count()``.
+
+Pooled execution is crash-proof: a worker that raises, dies (broken
+pool), or exceeds the per-cell wall-clock budget (``REPRO_CELL_TIMEOUT``
+seconds) only fails *its* cells, which are retried over a fresh pool with
+capped exponential backoff (``REPRO_RETRIES`` rounds, default 2).  Cells
+still failing after every round degrade gracefully to in-process serial
+execution — a deterministic worker-side bug then surfaces as the original
+exception, while transient crashes cost only the retries.  Every rung of
+the ladder is counted in :class:`EngineStats`.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.results import SimulationResult
+from ..errors import CellTimeoutError, WorkerCrashError
 from .cache import ResultCache
 from .cellspec import CellSpec, cache_key, simulate_cell
 from .profiler import PROFILER, Snapshot
+
+_LOG = logging.getLogger("repro.perf")
+
+#: Upper bound on one backoff sleep, seconds.
+BACKOFF_CAP = 2.0
 
 
 def default_jobs() -> int:
@@ -45,6 +64,62 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def default_retries() -> int:
+    """Retry rounds for failed pool cells (``REPRO_RETRIES``, default 2)."""
+    raw = os.environ.get("REPRO_RETRIES")
+    if raw is None:
+        return 2
+    try:
+        retries = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_RETRIES must be an integer, got {raw!r}"
+        ) from None
+    if retries < 0:
+        raise ValueError(f"REPRO_RETRIES must be >= 0, got {retries}")
+    return retries
+
+
+def default_cell_timeout() -> Optional[float]:
+    """Per-cell wall-clock budget in seconds (``REPRO_CELL_TIMEOUT``).
+
+    Unset or ``0`` disables the timeout (the default: a cold cell's run
+    time scales with ``REPRO_TRACE_LEN``, so no universal bound exists).
+    """
+    raw = os.environ.get("REPRO_CELL_TIMEOUT")
+    if raw is None:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CELL_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    if timeout < 0:
+        raise ValueError(f"REPRO_CELL_TIMEOUT must be >= 0, got {timeout}")
+    return timeout or None
+
+
+def default_backoff() -> float:
+    """Base retry backoff in seconds (``REPRO_RETRY_BACKOFF``, default 0.5).
+
+    Round ``k`` sleeps ``min(BACKOFF_CAP, backoff * 2**(k-1))`` before
+    resubmitting; 0 disables sleeping (used by the chaos tests).
+    """
+    raw = os.environ.get("REPRO_RETRY_BACKOFF")
+    if raw is None:
+        return 0.5
+    try:
+        backoff = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_RETRY_BACKOFF must be a number of seconds, got {raw!r}"
+        ) from None
+    if backoff < 0:
+        raise ValueError(f"REPRO_RETRY_BACKOFF must be >= 0, got {backoff}")
+    return backoff
+
+
 @dataclass
 class EngineStats:
     """Session-wide counters, shared by every runner instance."""
@@ -52,17 +127,41 @@ class EngineStats:
     cache_hits: int = 0
     simulated: int = 0
     deduplicated: int = 0
+    #: Cells whose pool execution raised or whose worker died.
+    worker_crashes: int = 0
+    #: Cells that exceeded the per-cell wall-clock budget.
+    cell_timeouts: int = 0
+    #: Cells resubmitted to a fresh pool (one count per cell per round).
+    worker_retries: int = 0
+    #: Cells that exhausted every pool round and ran serially in-process.
+    serial_fallback_cells: int = 0
 
     def reset(self) -> None:
         self.cache_hits = 0
         self.simulated = 0
         self.deduplicated = 0
+        self.worker_crashes = 0
+        self.cell_timeouts = 0
+        self.worker_retries = 0
+        self.serial_fallback_cells = 0
 
     def summary(self) -> str:
         base = (
             f"{self.simulated} simulated, {self.cache_hits} cache hits, "
             f"{self.deduplicated} deduplicated"
         )
+        if (
+            self.worker_crashes
+            or self.cell_timeouts
+            or self.worker_retries
+            or self.serial_fallback_cells
+        ):
+            base += (
+                f"; resilience: {self.worker_crashes} worker crashes, "
+                f"{self.cell_timeouts} timeouts, "
+                f"{self.worker_retries} retried, "
+                f"{self.serial_fallback_cells} serial fallbacks"
+            )
         phases = PROFILER.summary()
         return f"{base}; phases: {phases}" if phases else base
 
@@ -75,11 +174,21 @@ class CellRunner:
     """Executes batches of cell specs with caching and parallelism."""
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 retries: Optional[int] = None,
+                 cell_timeout: Optional[float] = None,
+                 backoff: Optional[float] = None):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else default_jobs()
         self.cache = cache if cache is not None else ResultCache()
+        self.retries = retries if retries is not None else default_retries()
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        self.cell_timeout = (
+            cell_timeout if cell_timeout is not None else default_cell_timeout()
+        )
+        self.backoff = backoff if backoff is not None else default_backoff()
 
     def run_cells(self, specs: Sequence[CellSpec]) -> List[SimulationResult]:
         """Simulate (or recall) every cell, in submission order."""
@@ -112,15 +221,116 @@ class CellRunner:
         if self.jobs <= 1 or len(specs) <= 1:
             # In-process: simulate_cell feeds PROFILER directly.
             return [simulate_cell(spec) for spec in specs]
-        workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # Executor.map preserves submission order regardless of
-            # completion order, keeping tables byte-identical to serial.
-            results: List[SimulationResult] = []
-            for result, phases in pool.map(_simulate_with_phases, specs):
-                PROFILER.merge(phases)
-                results.append(result)
-            return results
+        return self._simulate_pooled(specs)
+
+    def _simulate_pooled(self, specs: List[CellSpec]) -> List[SimulationResult]:
+        """The failure-handling ladder: pool -> retries -> serial fallback.
+
+        Results are keyed by submission index, so whatever mix of pool
+        rounds and serial fallback produced them, the returned list is in
+        submission order — byte-identical to a clean run (each cell is an
+        independent simulation seeded from its own spec).
+        """
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        pending = list(range(len(specs)))
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            if attempt:
+                delay = min(BACKOFF_CAP, self.backoff * (2 ** (attempt - 1)))
+                if delay > 0:
+                    time.sleep(delay)
+                STATS.worker_retries += len(pending)
+                _LOG.warning(
+                    "retrying %d failed cell(s), round %d/%d",
+                    len(pending), attempt, self.retries,
+                )
+            pending = self._pool_round(specs, pending, results)
+        if pending:
+            STATS.serial_fallback_cells += len(pending)
+            _LOG.warning(
+                "%d cell(s) failed every pool round; degrading to "
+                "in-process serial execution", len(pending),
+            )
+            for index in pending:
+                results[index] = simulate_cell(specs[index])
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def _pool_round(
+        self,
+        specs: List[CellSpec],
+        indices: List[int],
+        results: List[Optional[SimulationResult]],
+    ) -> List[int]:
+        """Run one pool attempt over ``indices``; returns the failures.
+
+        A timeout leaves a possibly-hung worker behind, so the pool is
+        torn down hard (terminate, don't join) before the next round's
+        fresh pool takes over.
+        """
+        workers = min(self.jobs, len(indices))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        failed: List[int] = []
+        hung = False
+        try:
+            try:
+                futures = {
+                    index: pool.submit(_simulate_with_phases, specs[index])
+                    for index in indices
+                }
+            except (BrokenProcessPool, RuntimeError):
+                STATS.worker_crashes += len(indices)
+                return list(indices)
+            for index in indices:
+                try:
+                    result, phases = futures[index].result(
+                        timeout=self.cell_timeout
+                    )
+                except _FuturesTimeout:
+                    STATS.cell_timeouts += 1
+                    hung = True
+                    failed.append(index)
+                    _LOG.warning(
+                        "cell %d exceeded REPRO_CELL_TIMEOUT=%ss: %s",
+                        index, self.cell_timeout,
+                        CellTimeoutError(specs[index].bench),
+                    )
+                except BrokenProcessPool as exc:
+                    STATS.worker_crashes += 1
+                    failed.append(index)
+                    _LOG.warning(
+                        "worker died simulating cell %d: %s",
+                        index, WorkerCrashError(str(exc)),
+                    )
+                except Exception as exc:
+                    STATS.worker_crashes += 1
+                    failed.append(index)
+                    _LOG.warning(
+                        "worker raised simulating cell %d: %r", index, exc
+                    )
+                else:
+                    PROFILER.merge(phases)
+                    results[index] = result
+        finally:
+            if hung:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return failed
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may hold a hung worker, without joining it."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    # Joining a hung worker would block forever (including at interpreter
+    # exit); SIGTERM the processes directly.  ``_processes`` is private but
+    # stable across supported CPythons, and the fallback is merely a leak.
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
 
 
 def _simulate_with_phases(spec: CellSpec) -> tuple:
@@ -154,6 +364,9 @@ def reset() -> None:
     _configured = None
     STATS.reset()
     PROFILER.reset()
+    from .cache import reset_corrupt_evictions
+
+    reset_corrupt_evictions()
 
 
 def get_runner() -> CellRunner:

@@ -49,6 +49,19 @@ class Counters:
     ecp_overflows: int = 0
     ecp_cleared_by_write: int = 0
 
+    # -- injected faults (repro.faults) -----------------------------------------
+    #: Stuck-at cells seeded into touched lines by the fault plan.
+    fault_stuck_cells: int = 0
+    #: ECP entries lost to injected entry wear-out.
+    fault_dead_ecp_entries: int = 0
+    #: Resistance-drift flips surfaced at write-time verification.
+    drift_flips: int = 0
+    #: Lines whose hard errors exceeded ECP capacity (ECPExhaustedError
+    #: absorbed: the line degrades to partial coverage).
+    ecp_exhausted_lines: int = 0
+    #: Stuck cells left without an ECP entry — permanently wrong bits.
+    uncorrectable_bits: int = 0
+
     # -- write cancellation -----------------------------------------------------
     writes_cancelled: int = 0
     prereads_cancelled: int = 0
@@ -133,6 +146,13 @@ class Counters:
         demand = self.data_cell_writes_demand
         total = demand + self.data_cell_writes_correction
         return 1.0 if total == 0 or demand == 0 else demand / total
+
+    @property
+    def uncorrectable_bit_rate(self) -> float:
+        """Uncorrectable bits per demand line write (fault sweeps' metric)."""
+        if self.demand_writes == 0:
+            return 0.0
+        return self.uncorrectable_bits / self.demand_writes
 
     #: Without WD, the ECP chip sees ~10x fewer cell changes than the data
     #: chips for the same write stream (Section 6.7); the background counter
