@@ -61,6 +61,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip experiments the checkpoint manifest records as "
         "completed under the current parameters",
     )
+    exp.add_argument(
+        "--no-pipeline",
+        action="store_true",
+        help="disable cross-experiment pipelining (global spec prefetch "
+        "into the warm pool); also REPRO_PIPELINE=0",
+    )
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("stats", "clear"))
@@ -197,19 +203,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(
-    names: List[str], jobs: Optional[int] = None, resume: bool = False
+    names: List[str], jobs: Optional[int] = None, resume: bool = False,
+    no_pipeline: bool = False,
 ) -> int:
     from .experiments import runner
 
     argv = ["--jobs", str(jobs)] if jobs is not None else []
     if resume:
         argv = ["--resume"] + argv
+    if no_pipeline:
+        argv = ["--no-pipeline"] + argv
     return runner.main(argv + names)
 
 
 def _cmd_cache(action: str) -> int:
     from .perf.cache import ResultCache
     from .perf.engine import STATS
+    from .perf.pool import WARM_POOL
+    from .traces import shm
 
     cache = ResultCache()
     if action == "clear":
@@ -217,6 +228,7 @@ def _cmd_cache(action: str) -> int:
         print(f"removed {removed} cached results from {cache.root}")
         return 0
     info = cache.info()
+    rate = STATS.cache_hit_rate()
     rows = [
         ["directory", info.root],
         ["enabled", info.enabled],
@@ -226,6 +238,15 @@ def _cmd_cache(action: str) -> int:
         ["session cache hits", STATS.cache_hits],
         ["session simulated", STATS.simulated],
         ["session deduplicated", STATS.deduplicated],
+        ["session cache hit-rate",
+         f"{100.0 * rate:.1f}%" if rate is not None else "n/a"],
+        ["session pool reuses", STATS.pool_reuses],
+        ["session pool recycles", STATS.pool_recycles],
+        ["session pool generation", WARM_POOL.generation],
+        ["session trace-plane segments", shm.PLANE.published],
+        ["session trace-plane reuses", shm.PLANE.hits],
+        ["session prefetched cells", STATS.prefetched],
+        ["session cross-experiment dedups", STATS.cross_exp_dedup],
     ]
     print(format_table("result cache", ["metric", "value"], rows))
     return 0
@@ -331,7 +352,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.names, jobs=args.jobs, resume=args.resume)
+        return _cmd_experiment(args.names, jobs=args.jobs, resume=args.resume,
+                               no_pipeline=args.no_pipeline)
     if args.command == "cache":
         return _cmd_cache(args.action)
     if args.command == "faults":

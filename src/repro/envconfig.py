@@ -1,0 +1,141 @@
+"""Validated parsing of every ``REPRO_*`` environment knob.
+
+One module owns the environment surface so every consumer reports
+errors the same way: ``REPRO_X must be <shape>, got <value!r>``.  The
+accessors re-read the environment on every call (cheap), which keeps
+tests that monkeypatch ``os.environ`` honest without any cache
+invalidation protocol.
+
+Knobs parsed here:
+
+=====================  =========================================================
+``REPRO_JOBS``         worker processes for cold cells (int >= 1; CPU count)
+``REPRO_RETRIES``      pool retry rounds for failed cells (int >= 0; 2)
+``REPRO_CELL_TIMEOUT`` per-cell wall-clock budget, seconds (float >= 0; off)
+``REPRO_RETRY_BACKOFF``base retry backoff, seconds (float >= 0; 0.5)
+``REPRO_TRACE_LEN``    per-core trace length (int; 1200)
+``REPRO_CORES``        simulated core count (int; 8)
+``REPRO_CACHE``        ``0`` disables the disk result cache (on)
+``REPRO_CACHE_DIR``    result-cache directory (``~/.cache/repro``)
+``REPRO_PROFILE``      non-``0``/empty enables fine-grained phase timing (off)
+``REPRO_PIPELINE``     ``0`` disables cross-experiment pipelining (on)
+=====================  =========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+
+def env_int(
+    name: str,
+    default: int,
+    minimum: Optional[int] = None,
+) -> int:
+    """``name`` as an int, or ``default`` when unset.
+
+    Raises :class:`ValueError` (always naming the variable) on garbage
+    or on values below ``minimum``.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def env_float(
+    name: str,
+    default: float,
+    minimum: Optional[float] = None,
+) -> float:
+    """``name`` as a float, or ``default`` when unset (same error style)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number of seconds, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum:g}, got {value:g}")
+    return value
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """``name`` as an on/off flag: ``"0"`` is off, anything else is on."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw != "0"
+
+
+# -- named accessors ---------------------------------------------------------
+
+
+def jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` or the machine's CPU count."""
+    if "REPRO_JOBS" in os.environ:
+        return env_int("REPRO_JOBS", 1, minimum=1)
+    return os.cpu_count() or 1
+
+
+def retries() -> int:
+    """Retry rounds for failed pool cells (``REPRO_RETRIES``, default 2)."""
+    return env_int("REPRO_RETRIES", 2, minimum=0)
+
+
+def cell_timeout() -> Optional[float]:
+    """Per-cell wall-clock budget in seconds (``REPRO_CELL_TIMEOUT``).
+
+    Unset or ``0`` disables the timeout (the default: a cold cell's run
+    time scales with ``REPRO_TRACE_LEN``, so no universal bound exists).
+    """
+    return env_float("REPRO_CELL_TIMEOUT", 0.0, minimum=0.0) or None
+
+
+def retry_backoff() -> float:
+    """Base retry backoff in seconds (``REPRO_RETRY_BACKOFF``, default 0.5)."""
+    return env_float("REPRO_RETRY_BACKOFF", 0.5, minimum=0.0)
+
+
+def trace_length(default: int = 1200) -> int:
+    """Per-core trace length, overridable via ``REPRO_TRACE_LEN``."""
+    return env_int("REPRO_TRACE_LEN", default)
+
+
+def core_count(default: int = 8) -> int:
+    """Core count, overridable via ``REPRO_CORES``."""
+    return env_int("REPRO_CORES", default)
+
+
+def cache_enabled() -> bool:
+    """Whether the disk result cache is on (``REPRO_CACHE`` != ``0``)."""
+    return env_flag("REPRO_CACHE", True)
+
+
+def cache_dir() -> Path:
+    """Result-cache directory (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def profile_fine() -> bool:
+    """Whether fine-grained phase timing is on (``REPRO_PROFILE``)."""
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+def pipeline_enabled() -> bool:
+    """Whether cross-experiment pipelining is on (``REPRO_PIPELINE``)."""
+    return env_flag("REPRO_PIPELINE", True)

@@ -15,11 +15,11 @@ a process pool when ``--jobs``/``REPRO_JOBS`` allows.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
+from .. import envconfig
 from ..config import (
     DisturbanceConfig,
     FaultConfig,
@@ -29,8 +29,8 @@ from ..config import (
     TimingConfig,
 )
 from ..core.results import SimulationResult, geometric_mean
+from ..perf import engine
 from ..perf.cellspec import CellSpec
-from ..perf.engine import get_runner
 from ..stats.report import format_table
 from ..traces.profiles import WORKLOAD_ORDER
 from ..traces.workload import Workload, homogeneous_workload
@@ -38,26 +38,14 @@ from ..traces.workload import Workload, homogeneous_workload
 DEFAULT_SEED = 1
 
 
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(
-            f"environment variable {name} must be an integer, got {raw!r}"
-        ) from None
-
-
 def trace_length(default: int = 1200) -> int:
     """Per-core trace length, overridable via ``REPRO_TRACE_LEN``."""
-    return _env_int("REPRO_TRACE_LEN", default)
+    return envconfig.trace_length(default)
 
 
 def core_count(default: int = 8) -> int:
     """Core count, overridable via ``REPRO_CORES``."""
-    return _env_int("REPRO_CORES", default)
+    return envconfig.core_count(default)
 
 
 @lru_cache(maxsize=64)
@@ -106,8 +94,13 @@ def cell(
 
 
 def run_cells(specs: Sequence[CellSpec]) -> List[SimulationResult]:
-    """Simulate a batch of cells through the perf engine (cached, parallel)."""
-    return get_runner().run_cells(list(specs))
+    """Simulate a batch of cells through the perf engine (cached, parallel).
+
+    Resolved through ``engine.get_runner()`` at call time so the sweep
+    planner's :func:`repro.perf.engine.use_runner` context (and the
+    CLI's ``--jobs`` configuration) applies to every experiment module.
+    """
+    return engine.get_runner().run_cells(list(specs))
 
 
 def run(

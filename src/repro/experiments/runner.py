@@ -7,31 +7,48 @@ Usage::
     python -m repro.experiments.runner figure11 --jobs 4     # parallel cells
     python -m repro.experiments.runner --json out figure11   # + JSON export
     python -m repro.experiments.runner --resume         # continue a sweep
+    python -m repro.experiments.runner --no-pipeline    # strictly sequential
     REPRO_TRACE_LEN=4000 python -m repro.experiments.runner
 
 Timing-simulation experiments scale with REPRO_TRACE_LEN; the analytic ones
 (table1, capacity, overhead) are instant.  Simulated cells go through the
 :mod:`repro.perf` engine: ``--jobs``/``REPRO_JOBS`` fans cold cells out over
-a process pool, and finished cells are cached on disk (``REPRO_CACHE_DIR``)
-so re-runs skip them entirely.
+a warm process pool, and finished cells are cached on disk
+(``REPRO_CACHE_DIR``) so re-runs skip them entirely.
+
+With ``--jobs`` > 1 the sweep is **pipelined across experiments**: a
+planning pass collects every selected experiment's cell specs up front
+(by running each experiment preamble against a spec-recording engine
+stub), dedups them globally, and prefetches the cold cells into the warm
+pool.  Each experiment then collects its own cells as they complete —
+experiment N+1's cells simulate while experiment N's table renders — and
+finished results stream to disk on a background cache-writer thread.
+Disable with ``--no-pipeline`` or ``REPRO_PIPELINE=0``; results are
+byte-identical either way (every cell is an independent simulation
+seeded from its own spec).
 
 Long sweeps are interrupt-safe: every completed experiment is checkpointed
 to a manifest next to the result cache, and Ctrl-C exits cleanly after
-flushing what finished.  ``--resume`` skips every experiment the manifest
-records as completed under the same trace length / core count / cache
-schema — combined with the warm result cache, a restarted sweep fast-forwards
-to the first unfinished experiment at almost no cost.
+flushing what finished (in-flight prefetched cells are cancelled, the
+warm pool is torn down, and every shared-memory trace segment is
+unlinked).  ``--resume`` skips every experiment the manifest records as
+completed under the same trace length / core count / cache schema —
+combined with the warm result cache, a restarted sweep fast-forwards to
+the first unfinished experiment at almost no cost.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, List
+
+from .. import envconfig
 
 from . import (
     ablation,
@@ -155,16 +172,66 @@ def is_completed(name: str, manifest: Dict[str, Dict[str, object]]) -> bool:
     return all(entry.get(key) == value for key, value in stamp.items())
 
 
+# -- cross-experiment sweep planning ----------------------------------------
+
+
+class _PlanAborted(Exception):
+    """Control flow: the planning pass stops an experiment at its first
+    ``run_cells`` call (the specs are recorded; nothing is simulated)."""
+
+
+class _PlanningRunner:
+    """Engine stub that records submitted specs instead of running them."""
+
+    def __init__(self) -> None:
+        self.specs: List[object] = []
+
+    def run_cells(self, specs):
+        self.specs.extend(specs)
+        raise _PlanAborted
+
+
+def collect_sweep_specs(names: List[str]) -> List[object]:
+    """Every selected experiment's first-batch cell specs, in sweep order.
+
+    Runs each experiment's preamble (spec-list construction is cheap)
+    against a recording engine stub and aborts at the first
+    ``run_cells`` call.  Experiments that never reach ``run_cells``
+    (analytic ones) or that raise during planning contribute nothing —
+    they run normally, and any real error surfaces, in the main loop.
+    Experiments that batch in several ``run_cells`` calls have only
+    their first batch prefetched; the rest still benefit from the warm
+    pool and trace plane.
+    """
+    from ..perf import engine
+
+    collected: List[object] = []
+    for name in names:
+        recorder = _PlanningRunner()
+        with engine.use_runner(recorder):
+            try:
+                EXPERIMENTS[name]()
+            except _PlanAborted:
+                pass
+            except Exception:
+                continue
+        collected.extend(recorder.specs)
+    return collected
+
+
 def main(argv: list[str]) -> int:
     json_dir = None
     jobs = None
     resume = False
+    pipeline = envconfig.pipeline_enabled()
     names: list[str] = []
     argv = list(argv)
     while argv:
         arg = argv.pop(0)
         if arg == "--resume":
             resume = True
+        elif arg == "--no-pipeline":
+            pipeline = False
         elif arg in ("--json", "--jobs"):
             if not argv:
                 print(f"{arg} requires a value")
@@ -188,14 +255,31 @@ def main(argv: list[str]) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
         return 2
-    if jobs is not None:
-        engine.configure(jobs=jobs)
+    # One persistent runner for the whole sweep: the in-flight prefetch
+    # table and the warm pool live on it across experiments.
+    runner = engine.configure(jobs=jobs)
     manifest = load_manifest() if resume else {}
     if not resume:
         # A fresh sweep starts a fresh checkpoint ledger.
         save_manifest({})
+    pending = [
+        name for name in requested
+        if not (resume and is_completed(name, manifest))
+    ]
     completed = 0
+    # The planning pass and prefetch live inside the interrupt guard:
+    # a Ctrl-C that lands mid-prefetch must still terminate the warm
+    # pool's workers (otherwise they orphan, holding stdout open) and
+    # unlink the trace segments already published.
     try:
+        if pipeline and runner.jobs > 1 and len(pending) > 1:
+            specs = collect_sweep_specs(pending)
+            submitted = runner.prefetch(specs)
+            if submitted:
+                print(
+                    f"  [pipeline: prefetched {submitted} cold cell(s) from "
+                    f"{len(pending)} experiments into the warm pool]\n"
+                )
         for name in requested:
             if resume and is_completed(name, manifest):
                 print(f"  [{name} already completed; skipped (--resume)]\n")
@@ -214,14 +298,32 @@ def main(argv: list[str]) -> int:
             completed += 1
     except KeyboardInterrupt:
         # Finished experiments are already checkpointed (and their cells
-        # cached); report how to pick the sweep back up and exit cleanly.
-        print(
-            f"\n  [interrupted after {completed}/{len(requested)} "
-            f"experiments; finished work is checkpointed in "
-            f"{manifest_path()} — rerun with --resume to continue]"
-        )
+        # cached); cancel in-flight prefetches, tear the warm pool down
+        # without joining possibly-busy workers, unlink every
+        # shared-memory trace segment, then exit cleanly.  Further
+        # Ctrl-C presses are ignored while this runs: a second
+        # interrupt landing inside the teardown would abort the
+        # worker-termination loop and orphan pool workers.  The
+        # previous disposition is restored on the way out so in-process
+        # callers (tests, library use) keep their Ctrl-C.
+        try:
+            previous = signal.signal(signal.SIGINT, signal.SIG_IGN)
+        except (ValueError, OSError):  # non-main thread / exotic host
+            previous = None
+        try:
+            engine.teardown(terminate=True)
+            print(
+                f"\n  [interrupted after {completed}/{len(requested)} "
+                f"experiments; finished work is checkpointed in "
+                f"{manifest_path()} — rerun with --resume to continue]"
+            )
+        finally:
+            if previous is not None:
+                try:
+                    signal.signal(signal.SIGINT, previous)
+                except (ValueError, OSError):
+                    pass
         return 130
-    runner = engine.get_runner()
     print(
         f"  [engine: {engine.STATS.summary()}; jobs={runner.jobs}, "
         f"cache={'on' if runner.cache.enabled else 'off'} "

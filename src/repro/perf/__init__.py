@@ -10,7 +10,15 @@ keeping result ordering deterministic.
 
 from .cache import ResultCache
 from .cellspec import CACHE_SCHEMA_VERSION, CellSpec, cache_key
-from .engine import STATS, CellRunner, configure, default_jobs, get_runner
+from .engine import (
+    STATS,
+    CellRunner,
+    configure,
+    default_jobs,
+    get_runner,
+    use_runner,
+)
+from .pool import WARM_POOL, WarmPool
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -18,8 +26,11 @@ __all__ = [
     "CellRunner",
     "ResultCache",
     "STATS",
+    "WARM_POOL",
+    "WarmPool",
     "cache_key",
     "configure",
     "default_jobs",
     "get_runner",
+    "use_runner",
 ]

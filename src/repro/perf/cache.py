@@ -12,11 +12,14 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import queue
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from .. import envconfig
 from ..core.results import SimulationResult
 
 _SUFFIX = ".pkl"
@@ -68,14 +71,11 @@ def reset_corrupt_evictions() -> None:
 
 
 def default_cache_dir() -> Path:
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro"
+    return envconfig.cache_dir()
 
 
 def cache_enabled() -> bool:
-    return os.environ.get("REPRO_CACHE", "1") != "0"
+    return envconfig.cache_enabled()
 
 
 class ResultCache:
@@ -85,9 +85,21 @@ class ResultCache:
                  enabled: Optional[bool] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else enabled
+        self._writer: Optional[_AsyncWriter] = None
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
+
+    def contains(self, key: str) -> bool:
+        """Cheap presence probe (no unpickling).
+
+        Used by the sweep planner to decide which cells to prefetch; a
+        false positive (entry corrupt, or evicted between the probe and
+        the load) merely costs one late simulation, never correctness.
+        """
+        if not self.enabled:
+            return False
+        return self._path(key).is_file()
 
     def load(self, key: str) -> Optional[SimulationResult]:
         """The cached result for ``key``, or None on miss/corruption.
@@ -139,6 +151,31 @@ class ResultCache:
                 pass
             raise
 
+    def store_async(self, key: str, result: SimulationResult) -> None:
+        """Queue a store on the background writer thread.
+
+        Pickling + fsync-free atomic rename happen off the simulation
+        path, overlapping disk writes with whatever the caller does next
+        (collecting further pool results, rendering the previous
+        experiment's table).  Call :meth:`flush` before relying on the
+        entry being on disk; a store that failed re-raises there.
+        """
+        if not self.enabled:
+            return
+        if self._writer is None:
+            self._writer = _AsyncWriter(self)
+        self._writer.put(key, result)
+
+    def flush(self) -> None:
+        """Block until every queued async store has hit the disk.
+
+        Re-raises the first exception a background store hit (disk
+        full, unpicklable payload, ...), matching synchronous
+        :meth:`store` semantics, just deferred.
+        """
+        if self._writer is not None:
+            self._writer.flush()
+
     def info(self) -> CacheInfo:
         entries = 0
         size = 0
@@ -172,3 +209,42 @@ class ResultCache:
                     continue
                 removed += 1
         return removed
+
+
+class _AsyncWriter:
+    """Daemon thread draining (key, result) pairs into synchronous stores.
+
+    One writer per :class:`ResultCache`, started lazily on the first
+    :meth:`ResultCache.store_async`.  The queue is unbounded — results
+    are a few KB each, and the engine flushes at the end of every batch,
+    so the backlog is bounded by one batch's cold cells.
+    """
+
+    def __init__(self, cache: ResultCache) -> None:
+        self._cache = cache
+        self._queue: "queue.Queue[tuple]" = queue.Queue()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-cache-writer", daemon=True
+        )
+        self._thread.start()
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self._queue.put((key, result))
+
+    def flush(self) -> None:
+        self._queue.join()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def _drain(self) -> None:
+        while True:
+            key, result = self._queue.get()
+            try:
+                self._cache.store(key, result)
+            except BaseException as exc:  # surfaced by the next flush()
+                if self._error is None:
+                    self._error = exc
+            finally:
+                self._queue.task_done()

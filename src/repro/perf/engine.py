@@ -9,37 +9,61 @@ modules use.  It guarantees:
 * **Deduplication** — identical specs inside one batch (figures reuse
   baseline cells heavily) are simulated once.
 * **Caching** — finished cells are persisted via
-  :class:`~repro.perf.cache.ResultCache` and reused across runs.
+  :class:`~repro.perf.cache.ResultCache` (writes overlap simulation on a
+  background writer thread) and reused across runs.
 
 Worker count comes from, in priority order: an explicit ``jobs=``
 argument (the runner's ``--jobs`` flag), the ``REPRO_JOBS`` environment
 variable, then ``os.cpu_count()``.
 
+Pooled execution draws from the process-wide
+:data:`~repro.perf.pool.WARM_POOL`: one executor is forked once and
+reused across batches and experiments, and each distinct workload trace
+is synthesized once in the parent and shared with workers zero-copy via
+the :mod:`repro.traces.shm` trace plane.
+
 Pooled execution is crash-proof: a worker that raises, dies (broken
 pool), or exceeds the per-cell wall-clock budget (``REPRO_CELL_TIMEOUT``
-seconds) only fails *its* cells, which are retried over a fresh pool with
-capped exponential backoff (``REPRO_RETRIES`` rounds, default 2).  Cells
-still failing after every round degrade gracefully to in-process serial
-execution — a deterministic worker-side bug then surfaces as the original
-exception, while transient crashes cost only the retries.  Every rung of
-the ladder is counted in :class:`EngineStats`.
+seconds) only fails *its* cells.  Any failure retires the warm pool's
+generation — the next round lazily forks a fresh one — and the failed
+cells are retried with capped exponential backoff (``REPRO_RETRIES``
+rounds, default 2).  Cells still failing after every round degrade
+gracefully to in-process serial execution — a deterministic worker-side
+bug then surfaces as the original exception, while transient crashes
+cost only the retries.  Every rung of the ladder is counted in
+:class:`EngineStats`.
+
+Timeouts are deadline-based: the budget window extends every time *any*
+cell completes, so a cell is only declared timed out after the pool has
+made no progress for a full ``REPRO_CELL_TIMEOUT`` — its own wall clock
+is then at least the budget, and one hung batch costs one budget, not
+one budget per cell.
+
+Cross-experiment pipelining: :meth:`CellRunner.prefetch` submits a
+sweep's globally deduplicated cold cells to the warm pool up front;
+later ``run_cells`` calls then collect their cells from the in-flight
+futures as they complete, so experiment N+1's cells simulate while
+experiment N's table renders.
 """
 
 from __future__ import annotations
 
 import logging
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future
+from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import envconfig
 from ..core.results import SimulationResult
 from ..errors import CellTimeoutError, WorkerCrashError
+from ..traces import shm
 from .cache import ResultCache
 from .cellspec import CellSpec, cache_key, simulate_cell
+from .pool import WARM_POOL, defer_sigint
 from .profiler import PROFILER, Snapshot
 
 _LOG = logging.getLogger("repro.perf")
@@ -47,37 +71,18 @@ _LOG = logging.getLogger("repro.perf")
 #: Upper bound on one backoff sleep, seconds.
 BACKOFF_CAP = 2.0
 
+#: Result callback type: (position in the cold list, finished result).
+_OnResult = Callable[[int, SimulationResult], None]
+
 
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` or the machine's CPU count."""
-    raw = os.environ.get("REPRO_JOBS")
-    if raw is not None:
-        try:
-            jobs = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_JOBS must be an integer, got {raw!r}"
-            ) from None
-        if jobs < 1:
-            raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
-        return jobs
-    return os.cpu_count() or 1
+    return envconfig.jobs()
 
 
 def default_retries() -> int:
     """Retry rounds for failed pool cells (``REPRO_RETRIES``, default 2)."""
-    raw = os.environ.get("REPRO_RETRIES")
-    if raw is None:
-        return 2
-    try:
-        retries = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_RETRIES must be an integer, got {raw!r}"
-        ) from None
-    if retries < 0:
-        raise ValueError(f"REPRO_RETRIES must be >= 0, got {retries}")
-    return retries
+    return envconfig.retries()
 
 
 def default_cell_timeout() -> Optional[float]:
@@ -86,18 +91,7 @@ def default_cell_timeout() -> Optional[float]:
     Unset or ``0`` disables the timeout (the default: a cold cell's run
     time scales with ``REPRO_TRACE_LEN``, so no universal bound exists).
     """
-    raw = os.environ.get("REPRO_CELL_TIMEOUT")
-    if raw is None:
-        return None
-    try:
-        timeout = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_CELL_TIMEOUT must be a number of seconds, got {raw!r}"
-        ) from None
-    if timeout < 0:
-        raise ValueError(f"REPRO_CELL_TIMEOUT must be >= 0, got {timeout}")
-    return timeout or None
+    return envconfig.cell_timeout()
 
 
 def default_backoff() -> float:
@@ -106,18 +100,7 @@ def default_backoff() -> float:
     Round ``k`` sleeps ``min(BACKOFF_CAP, backoff * 2**(k-1))`` before
     resubmitting; 0 disables sleeping (used by the chaos tests).
     """
-    raw = os.environ.get("REPRO_RETRY_BACKOFF")
-    if raw is None:
-        return 0.5
-    try:
-        backoff = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_RETRY_BACKOFF must be a number of seconds, got {raw!r}"
-        ) from None
-    if backoff < 0:
-        raise ValueError(f"REPRO_RETRY_BACKOFF must be >= 0, got {backoff}")
-    return backoff
+    return envconfig.retry_backoff()
 
 
 @dataclass
@@ -135,6 +118,16 @@ class EngineStats:
     worker_retries: int = 0
     #: Cells that exhausted every pool round and ran serially in-process.
     serial_fallback_cells: int = 0
+    #: Batches served by an already-warm pool generation (no fork).
+    pool_reuses: int = 0
+    #: Pool generations retired by a failure and re-forked lazily.
+    pool_recycles: int = 0
+    #: Cells submitted ahead of their experiment by the sweep planner.
+    prefetched: int = 0
+    #: Cells resolved from an in-flight prefetched future.
+    inflight_hits: int = 0
+    #: Duplicate specs dropped by cross-experiment (global) dedup.
+    cross_exp_dedup: int = 0
 
     def reset(self) -> None:
         self.cache_hits = 0
@@ -144,12 +137,27 @@ class EngineStats:
         self.cell_timeouts = 0
         self.worker_retries = 0
         self.serial_fallback_cells = 0
+        self.pool_reuses = 0
+        self.pool_recycles = 0
+        self.prefetched = 0
+        self.inflight_hits = 0
+        self.cross_exp_dedup = 0
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Cache hits as a fraction of resolved cells (None before any)."""
+        resolved = self.cache_hits + self.simulated
+        if not resolved:
+            return None
+        return self.cache_hits / resolved
 
     def summary(self) -> str:
         base = (
             f"{self.simulated} simulated, {self.cache_hits} cache hits, "
             f"{self.deduplicated} deduplicated"
         )
+        rate = self.cache_hit_rate()
+        if rate is not None:
+            base += f" (hit-rate {100.0 * rate:.0f}%)"
         if (
             self.worker_crashes
             or self.cell_timeouts
@@ -161,6 +169,22 @@ class EngineStats:
                 f"{self.cell_timeouts} timeouts, "
                 f"{self.worker_retries} retried, "
                 f"{self.serial_fallback_cells} serial fallbacks"
+            )
+        if self.pool_reuses or self.pool_recycles:
+            base += (
+                f"; pool: {self.pool_reuses} reuses, "
+                f"{self.pool_recycles} recycles"
+            )
+        if shm.PLANE.published or shm.PLANE.hits:
+            base += (
+                f"; trace plane: {shm.PLANE.published} segments, "
+                f"{shm.PLANE.hits} reuses"
+            )
+        if self.prefetched or self.cross_exp_dedup:
+            base += (
+                f"; pipeline: {self.prefetched} prefetched, "
+                f"{self.inflight_hits} collected, "
+                f"{self.cross_exp_dedup} cross-experiment dedups"
             )
         phases = PROFILER.summary()
         return f"{base}; phases: {phases}" if phases else base
@@ -189,6 +213,11 @@ class CellRunner:
             cell_timeout if cell_timeout is not None else default_cell_timeout()
         )
         self.backoff = backoff if backoff is not None else default_backoff()
+        #: Prefetched cells still cooking in the warm pool, by cache key.
+        self._inflight: Dict[str, Future] = {}
+        self._inflight_specs: Dict[str, CellSpec] = {}
+
+    # -- the batched entry point ------------------------------------------
 
     def run_cells(self, specs: Sequence[CellSpec]) -> List[SimulationResult]:
         """Simulate (or recall) every cell, in submission order."""
@@ -202,7 +231,11 @@ class CellRunner:
 
         results: Dict[str, SimulationResult] = {}
         cold: List[str] = []
+        inflight: List[str] = []
         for key, spec in unique.items():
+            if key in self._inflight:
+                inflight.append(key)
+                continue
             cached = self.cache.load(key)
             if cached is not None:
                 results[key] = cached
@@ -210,20 +243,115 @@ class CellRunner:
             else:
                 cold.append(key)
 
-        for key, result in zip(cold, self._simulate([unique[k] for k in cold])):
-            self.cache.store(key, result)
+        # Prefetched futures first (they may already be done); failures
+        # rejoin the cold list and walk the normal retry ladder.
+        cold.extend(self._collect_inflight(inflight, results))
+
+        cold_specs = [unique[key] for key in cold]
+
+        def _store(index: int, result: SimulationResult) -> None:
+            # Stream finished cells to the background cache writer so
+            # disk writes overlap the remaining simulation.
+            self.cache.store_async(cold[index], result)
+
+        for key, result in zip(cold, self._simulate(cold_specs, _store)):
             results[key] = result
             STATS.simulated += 1
+        self.cache.flush()
 
         return [results[key] for key in keys]
 
-    def _simulate(self, specs: List[CellSpec]) -> List[SimulationResult]:
+    # -- cross-experiment pipelining --------------------------------------
+
+    def prefetch(self, specs: Sequence[CellSpec]) -> int:
+        """Submit cold, globally deduplicated cells to the warm pool.
+
+        Returns the number of cells submitted.  Results are *not*
+        awaited here; later :meth:`run_cells` calls collect them from
+        the in-flight table as their experiments need them.  With
+        ``jobs <= 1`` this is a no-op — serial execution has nothing to
+        overlap with.
+        """
+        if self.jobs <= 1:
+            return 0
+        submitted = 0
+        seen: set = set()
+        pool = None
+        for spec in specs:
+            key = cache_key(spec)
+            if key in seen or key in self._inflight:
+                STATS.cross_exp_dedup += 1
+                continue
+            seen.add(key)
+            if self.cache.contains(key):
+                continue
+            if pool is None:
+                pool = self._get_pool(self.jobs)
+            handle = _publish_trace(spec)
+            # submit() lazily forks workers; a Ctrl-C landing inside the
+            # fork can orphan an unregistered worker, so defer it past
+            # the submit (it is then raised here and unwinds normally,
+            # with the future already in the in-flight table for
+            # cancel_prefetch to find).
+            with defer_sigint():
+                try:
+                    future = pool.submit(_simulate_with_phases, spec, handle)
+                except (BrokenProcessPool, RuntimeError):
+                    # The pool died mid-prefetch; unsubmitted cells simply
+                    # run through the normal ladder when their batch comes.
+                    break
+                self._inflight[key] = future
+                self._inflight_specs[key] = spec
+            submitted += 1
+        STATS.prefetched += submitted
+        return submitted
+
+    def cancel_prefetch(self) -> None:
+        """Drop in-flight prefetched cells (interrupt handling)."""
+        for future in self._inflight.values():
+            future.cancel()
+        self._inflight.clear()
+        self._inflight_specs.clear()
+
+    def _collect_inflight(
+        self, keys: List[str], results: Dict[str, SimulationResult]
+    ) -> List[str]:
+        """Wait for this batch's prefetched futures; returns failed keys."""
+        if not keys:
+            return []
+        futures = {key: self._inflight.pop(key) for key in keys}
+        for key in keys:
+            self._inflight_specs.pop(key, None)
+        payloads, failed, hung, broken = self._collect_futures(futures)
+        for key, (result, phases) in payloads.items():
+            PROFILER.merge(phases)
+            results[key] = result
+            STATS.simulated += 1
+            STATS.inflight_hits += 1
+            self.cache.store_async(key, result)
+        if hung or broken or failed:
+            self._retire_pool(terminate=hung)
+        return failed
+
+    # -- execution ladder --------------------------------------------------
+
+    def _simulate(
+        self, specs: List[CellSpec], on_result: Optional[_OnResult] = None
+    ) -> List[SimulationResult]:
+        notify = on_result or (lambda index, result: None)
         if self.jobs <= 1 or len(specs) <= 1:
             # In-process: simulate_cell feeds PROFILER directly.
-            return [simulate_cell(spec) for spec in specs]
-        return self._simulate_pooled(specs)
+            out = []
+            for index, spec in enumerate(specs):
+                result = simulate_cell(spec)
+                notify(index, result)
+                out.append(result)
+            return out
+        return self._simulate_pooled(specs, notify)
 
-    def _simulate_pooled(self, specs: List[CellSpec]) -> List[SimulationResult]:
+    def _simulate_pooled(
+        self, specs: List[CellSpec], notify: _OnResult
+    ) -> List[SimulationResult]:
         """The failure-handling ladder: pool -> retries -> serial fallback.
 
         Results are keyed by submission index, so whatever mix of pool
@@ -245,7 +373,7 @@ class CellRunner:
                     "retrying %d failed cell(s), round %d/%d",
                     len(pending), attempt, self.retries,
                 )
-            pending = self._pool_round(specs, pending, results)
+            pending = self._pool_round(specs, pending, results, notify)
         if pending:
             STATS.serial_fallback_cells += len(pending)
             _LOG.warning(
@@ -254,6 +382,7 @@ class CellRunner:
             )
             for index in pending:
                 results[index] = simulate_cell(specs[index])
+                notify(index, results[index])
         return results  # type: ignore[return-value]  # every slot is filled
 
     def _pool_round(
@@ -261,84 +390,148 @@ class CellRunner:
         specs: List[CellSpec],
         indices: List[int],
         results: List[Optional[SimulationResult]],
+        notify: _OnResult,
     ) -> List[int]:
-        """Run one pool attempt over ``indices``; returns the failures.
+        """Run one warm-pool attempt over ``indices``; returns the failures.
 
-        A timeout leaves a possibly-hung worker behind, so the pool is
-        torn down hard (terminate, don't join) before the next round's
-        fresh pool takes over.
+        Any failure retires the pool generation — with a hard terminate
+        when a worker may be hung — so the next round (or next batch)
+        forks a fresh one; clean rounds leave the pool warm for reuse.
         """
         workers = min(self.jobs, len(indices))
-        pool = ProcessPoolExecutor(max_workers=workers)
-        failed: List[int] = []
-        hung = False
+        pool = self._get_pool(workers)
+        futures: Dict[int, Future] = {}
         try:
-            try:
-                futures = {
-                    index: pool.submit(_simulate_with_phases, specs[index])
-                    for index in indices
-                }
-            except (BrokenProcessPool, RuntimeError):
-                STATS.worker_crashes += len(indices)
-                return list(indices)
             for index in indices:
-                try:
-                    result, phases = futures[index].result(
-                        timeout=self.cell_timeout
+                handle = _publish_trace(specs[index])
+                # Defer Ctrl-C past the lazy worker fork inside submit()
+                # (see prefetch); deferred interrupts are raised at the
+                # end of each iteration and unwind through run_cells.
+                with defer_sigint():
+                    futures[index] = pool.submit(
+                        _simulate_with_phases, specs[index], handle
                     )
-                except _FuturesTimeout:
-                    STATS.cell_timeouts += 1
-                    hung = True
-                    failed.append(index)
-                    _LOG.warning(
-                        "cell %d exceeded REPRO_CELL_TIMEOUT=%ss: %s",
-                        index, self.cell_timeout,
-                        CellTimeoutError(specs[index].bench),
-                    )
-                except BrokenProcessPool as exc:
-                    STATS.worker_crashes += 1
-                    failed.append(index)
-                    _LOG.warning(
-                        "worker died simulating cell %d: %s",
-                        index, WorkerCrashError(str(exc)),
-                    )
-                except Exception as exc:
-                    STATS.worker_crashes += 1
-                    failed.append(index)
-                    _LOG.warning(
-                        "worker raised simulating cell %d: %r", index, exc
-                    )
-                else:
-                    PROFILER.merge(phases)
-                    results[index] = result
-        finally:
-            if hung:
-                _terminate_pool(pool)
-            else:
-                pool.shutdown(wait=True, cancel_futures=True)
+        except (BrokenProcessPool, RuntimeError):
+            for future in futures.values():
+                future.cancel()
+            STATS.worker_crashes += len(indices)
+            self._retire_pool(terminate=False)
+            return list(indices)
+        payloads, failed, hung, broken = self._collect_futures(futures)
+        for index, (result, phases) in payloads.items():
+            PROFILER.merge(phases)
+            results[index] = result
+            notify(index, result)
+        if hung or broken or failed:
+            self._retire_pool(terminate=hung)
         return failed
 
+    def _collect_futures(
+        self, futures: Dict[object, Future]
+    ) -> Tuple[Dict[object, tuple], List[object], bool, bool]:
+        """Deadline-based collection of (result, phases) payloads.
 
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear down a pool that may hold a hung worker, without joining it."""
-    pool.shutdown(wait=False, cancel_futures=True)
-    # Joining a hung worker would block forever (including at interpreter
-    # exit); SIGTERM the processes directly.  ``_processes`` is private but
-    # stable across supported CPythons, and the fallback is merely a leak.
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except Exception:
-            pass
+        Returns ``(payloads, failed, hung, broken)``.  The timeout
+        window restarts on every completion, so it fires only after the
+        pool makes **no progress** for a full ``cell_timeout`` — each
+        still-pending cell has then burned at least its own budget
+        (unlike the old submission-order ``result(timeout=...)`` walk,
+        where N hung cells serially accumulated N budgets and a cell's
+        window silently included time spent waiting on earlier futures).
+        """
+        payloads: Dict[object, tuple] = {}
+        failed: List[object] = []
+        hung = broken = False
+        pending = dict(futures)
+        timeout = self.cell_timeout
+        deadline = (time.monotonic() + timeout) if timeout else None
+        while pending:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    for key, future in pending.items():
+                        future.cancel()
+                        STATS.cell_timeouts += 1
+                        failed.append(key)
+                        _LOG.warning(
+                            "cell %s exceeded REPRO_CELL_TIMEOUT=%ss: %s",
+                            key, timeout,
+                            CellTimeoutError(str(key)),
+                        )
+                    hung = True
+                    break
+                done, _ = _futures_wait(
+                    set(pending.values()), timeout=remaining,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    continue  # next iteration observes the expired deadline
+            else:
+                done, _ = _futures_wait(
+                    set(pending.values()), return_when=FIRST_COMPLETED
+                )
+            progressed = False
+            for key in [k for k, f in pending.items() if f in done]:
+                future = pending.pop(key)
+                try:
+                    payloads[key] = future.result()
+                    progressed = True
+                except BrokenProcessPool as exc:
+                    STATS.worker_crashes += 1
+                    broken = True
+                    failed.append(key)
+                    _LOG.warning(
+                        "worker died simulating cell %s: %s",
+                        key, WorkerCrashError(str(exc)),
+                    )
+                except CancelledError:
+                    # The executor cancelled queued cells when the pool
+                    # broke; charge them as crashes so they retry.
+                    STATS.worker_crashes += 1
+                    broken = True
+                    failed.append(key)
+                except Exception as exc:
+                    STATS.worker_crashes += 1
+                    failed.append(key)
+                    _LOG.warning(
+                        "worker raised simulating cell %s: %r", key, exc
+                    )
+            if progressed and deadline is not None:
+                deadline = time.monotonic() + timeout
+        return payloads, failed, hung, broken
+
+    # -- warm-pool plumbing ------------------------------------------------
+
+    def _get_pool(self, workers: int):
+        pool, reused = WARM_POOL.get(workers)
+        if reused:
+            STATS.pool_reuses += 1
+        return pool
+
+    def _retire_pool(self, terminate: bool) -> None:
+        if WARM_POOL.alive:
+            WARM_POOL.retire(terminate=terminate)
+            STATS.pool_recycles += 1
 
 
-def _simulate_with_phases(spec: CellSpec) -> tuple:
+def _publish_trace(spec: CellSpec):
+    """Publish the spec's workload trace on the shared-memory plane."""
+    return shm.PLANE.handle_for(
+        spec.bench, spec.length, spec.config.cores, spec.config.seed
+    )
+
+
+def _simulate_with_phases(spec: CellSpec, handle=None) -> tuple:
     """Pool worker: simulate one cell, shipping its phase timings back.
 
-    Workers are reused across map items, so the per-process profiler is
-    reset before each cell and its delta returned alongside the result.
+    ``handle`` points at the parent-published shared-memory trace; the
+    worker attaches zero-copy (once per segment per process) before
+    simulating, so it never re-synthesizes a trace the parent already
+    built.  Workers are reused across cells, so the per-process profiler
+    is reset before each cell and its delta returned with the result.
     """
+    if handle is not None:
+        shm.ensure_attached(handle)
     PROFILER.reset()
     result = simulate_cell(spec)
     snapshot: Snapshot = PROFILER.snapshot()
@@ -358,15 +551,51 @@ def configure(jobs: Optional[int] = None,
     return _configured
 
 
-def reset() -> None:
-    """Drop the configured runner and zero the session counters."""
+@contextmanager
+def use_runner(runner):
+    """Temporarily install ``runner`` as the session runner.
+
+    The sweep planner uses this to swap in a spec-recording stub while
+    it walks experiment preambles; anything exposing ``run_cells`` fits.
+    """
     global _configured
+    previous = _configured
+    _configured = runner
+    try:
+        yield runner
+    finally:
+        _configured = previous
+
+
+def reset() -> None:
+    """Drop the configured runner, the warm pool, the trace plane, and
+    zero the session counters (test isolation)."""
+    global _configured
+    if _configured is not None:
+        _configured.cancel_prefetch()
     _configured = None
     STATS.reset()
     PROFILER.reset()
+    WARM_POOL.shutdown()
+    WARM_POOL.reset_counters()
+    shm.reset()
     from .cache import reset_corrupt_evictions
 
     reset_corrupt_evictions()
+
+
+def teardown(terminate: bool = False) -> None:
+    """Release process-wide execution resources (interrupt handling).
+
+    Cancels in-flight prefetched cells, shuts the warm pool down
+    (``terminate=True`` skips joining possibly-hung workers), and
+    unlinks every shared-memory trace segment.  Counters survive — this
+    is resource cleanup, not a stats reset.
+    """
+    if _configured is not None:
+        _configured.cancel_prefetch()
+    WARM_POOL.shutdown(terminate=terminate)
+    shm.PLANE.close()
 
 
 def get_runner() -> CellRunner:

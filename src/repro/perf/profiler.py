@@ -23,9 +23,10 @@ subtraction.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Dict, Tuple
+
+from .. import envconfig
 
 _PERF = time.perf_counter
 
@@ -34,7 +35,7 @@ Snapshot = Dict[str, Tuple[float, int]]
 
 
 def _env_fine() -> bool:
-    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+    return envconfig.profile_fine()
 
 
 class PhaseProfiler:
