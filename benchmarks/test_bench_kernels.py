@@ -1,43 +1,84 @@
 """Kernel-layer benchmark: fast bit kernels, batched trace synthesis, cold cell.
 
-Three measurements, written machine-readably to ``BENCH_kernels.json``:
+Measurements, written machine-readably to ``BENCH_kernels.json``:
 
-* **Kernel microbenchmarks** — the int-domain/batched kernels against the
-  retained ``_scalar_*`` references, same machine, same run, so the
+* **Kernel microbenchmarks** — the int-domain/batched kernels (including
+  the row-batched mask sampling and DIN row coders) against the retained
+  ``_scalar_*`` / per-line references, same machine, same run, so the
   asserted ratios are machine-independent.
 * **Trace synthesis** — the vectorized generator against an inline replica
   of the original per-record Python loop (also an equivalence check).
 * **Cold cell** — one cold-cache simulation cell, compared to the pre-PR
   wall time recorded when this optimisation landed; the headline ≥3x
-  acceptance number.
+  acceptance number.  ``pr4_cold_cell_s`` records the warm-pool PR's
+  reference so successive PRs can see the trend.
+* **Batched cells** — a four-cell batch through the cross-cell batch
+  layer versus the same cells per-cell, with a hard byte-identity check
+  (the CI divergence gate) and the amortized per-cell time.
+
+Set ``REPRO_BENCH_BASELINE=/path/to/BENCH_kernels.json`` to additionally
+fail on a >20% regression of any speedup ratio against that committed
+baseline; set ``REPRO_BENCH_WRITE_ROOT=1`` to refresh the repo-root
+baseline files in place.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
+import os
+import pickle
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.config import LINES_PER_PAGE, LINE_BYTES, LINE_WORDS, PAGE_BYTES
 from repro.core import schemes
 from repro.experiments import common
+from repro.pcm import din as D
 from repro.pcm import line as L
+from repro.perf import batch as batchexec
+from repro.perf import engine
 from repro.perf.cache import ResultCache
+from repro.perf.cellspec import simulate_cell
 from repro.perf.engine import CellRunner
+
 from repro.traces.profiles import profile
 from repro.traces.synthetic import SyntheticTraceGenerator, _zipf_page_sampler
 
 from conftest import OUT_DIR
 
+#: Bump when a field is renamed or its meaning changes; additions are free.
+SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
 #: Cold wall time of the reference cell (mcf, LazyC+PreRead, length=1200,
 #: cores=4) measured on the dev machine immediately before this PR's
 #: kernel work.  The acceptance criterion is >= MIN_CELL_SPEEDUP against it.
 PRE_PR_COLD_CELL_S = 2.209
+#: The same cell after the warm-pool PR (PR 4) landed — the previous
+#: baseline, recorded so the per-PR trend stays visible in the JSON.
+PR4_COLD_CELL_S = 0.65
 MIN_CELL_SPEEDUP = 3.0
 MIN_POPCOUNT_SPEEDUP = 2.0
 MIN_SAMPLE_SPEEDUP = 1.2
 MIN_TRACE_SPEEDUP = 3.0
+
+#: Speedup-ratio fields compared against a committed baseline when
+#: REPRO_BENCH_BASELINE is set; each may regress at most 20%.  Only
+#: same-run scalar-vs-vectorized ratios qualify — they divide two
+#: measurements from the same machine and run, so they transfer across
+#: hosts.  Absolute wall clocks (and ratios against recorded dev-machine
+#: constants, like ``cold_cell_speedup``) do not; the cold cell keeps
+#: its own hard MIN_CELL_SPEEDUP assertion instead.
+BASELINE_RATIO_FIELDS = (
+    "popcount_speedup", "sample_speedup", "trace_speedup",
+    "rows_sample_speedup", "din_rows_speedup",
+)
+BASELINE_TOLERANCE = 0.8
 
 
 def _best_of(n, fn):
@@ -91,6 +132,57 @@ def _bench_kernels() -> dict:
         "sample_scalar_s": scalar_s,
         "sample_batched_int_s": batched_s,
         "sample_speedup": scalar_s / max(batched_s, 1e-12),
+    }
+
+
+def _bench_row_kernels() -> dict:
+    """Row-batched mask sampling and DIN coding vs their per-line forms."""
+    rng = np.random.default_rng(99)
+    rows = rng.integers(
+        0, 1 << 64, size=(LINES_PER_PAGE, LINE_WORDS), dtype=L.WORD_DTYPE
+    )
+    row_ints = [L.to_int(row) for row in rows]
+    data = rng.integers(0, 256, size=(LINES_PER_PAGE, 64), dtype=np.uint8)
+    data_ints = [int.from_bytes(d.tobytes(), "little") for d in data]
+    coder = D.DINEncoder()
+
+    def scalar_rows_sample():
+        r = np.random.default_rng(5)
+        return [L._scalar_sample_mask(row, 0.05, r) for row in rows]
+
+    def batched_rows_sample():
+        r = np.random.default_rng(5)
+        return L.sample_masks_rows(rows, 0.05, r)
+
+    # Equivalence first (the CI divergence gate for the row kernels).
+    assert [L.to_int(m) for m in batched_rows_sample()] == [
+        L.to_int(m) for m in scalar_rows_sample()
+    ]
+    scalar_s = _best_of(15, scalar_rows_sample)
+    rows_s = _best_of(15, batched_rows_sample)
+
+    def perline_din():
+        return [
+            coder.encode_stored_int(row, d)
+            for row, d in zip(row_ints, data_ints)
+        ]
+
+    def rows_din():
+        return coder.encode_stored_rows(rows, data)
+
+    stored_rows, flag_rows = rows_din()
+    reference = perline_din()
+    assert [L.to_int(s) for s in stored_rows] == [s for s, _ in reference]
+    assert [int(f) for f in flag_rows] == [f for _, f in reference]
+    perline_s = _best_of(15, perline_din)
+    din_rows_s = _best_of(15, rows_din)
+    return {
+        "rows_sample_scalar_s": scalar_s,
+        "rows_sample_batched_s": rows_s,
+        "rows_sample_speedup": scalar_s / max(rows_s, 1e-12),
+        "din_perline_s": perline_s,
+        "din_rows_s": din_rows_s,
+        "din_rows_speedup": perline_s / max(din_rows_s, 1e-12),
     }
 
 
@@ -164,25 +256,102 @@ def _bench_cold_cell(tmp_path) -> dict:
     return {
         "cold_cell_s": best,
         "pre_pr_cold_cell_s": PRE_PR_COLD_CELL_S,
+        "pr4_cold_cell_s": PR4_COLD_CELL_S,
         "cold_cell_speedup": PRE_PR_COLD_CELL_S / max(best, 1e-12),
+        "cold_cell_speedup_vs_pr4": PR4_COLD_CELL_S / max(best, 1e-12),
     }
 
 
+def _digest(results) -> str:
+    blob = pickle.dumps([dataclasses.asdict(r) for r in results])
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _bench_batched_cells() -> dict:
+    """The cross-cell batch layer vs per-cell, byte-identity enforced.
+
+    Four cold cells over one workload trace: per-cell and batched runs
+    each start from a cleared state plane, so the batched number shows
+    what chunk-mates sharing the plane (and one trace attachment) buys.
+    """
+    specs = [
+        common.cell("mcf", schemes.by_name(name), length=300, cores=2)
+        for name in ("baseline", "DIN", "LazyC", "LazyC+PreRead")
+    ]
+
+    engine.reset()
+    t0 = time.perf_counter()
+    reference = [simulate_cell(spec) for spec in specs]
+    percell_s = time.perf_counter() - t0
+
+    engine.reset()
+    t0 = time.perf_counter()
+    batched = batchexec.simulate_batch(specs, batch_cells=8)
+    batched_s = time.perf_counter() - t0
+    engine.reset()
+
+    # The CI divergence gate: batching must not change a single byte.
+    assert _digest(batched) == _digest(reference), (
+        "batched cell results diverged from the per-cell reference"
+    )
+    return {
+        "batched_cells": len(specs),
+        "percell_cells_s": percell_s,
+        "batched_cells_s": batched_s,
+        "batched_amortized_cell_s": batched_s / len(specs),
+        "batched_identical_to_percell": True,
+    }
+
+
+def _check_against_baseline(results: dict) -> None:
+    """Fail on a >20% ratio regression vs a committed baseline (CI gate)."""
+    baseline_path = os.environ.get("REPRO_BENCH_BASELINE")
+    if not baseline_path:
+        return
+    baseline = json.loads(Path(baseline_path).read_text())
+    for field in BASELINE_RATIO_FIELDS:
+        reference = baseline.get(field)
+        if not isinstance(reference, (int, float)) or reference <= 0:
+            continue
+        floor = reference * BASELINE_TOLERANCE
+        assert results[field] >= floor, (
+            f"{field} regressed: {results[field]:.2f} < {floor:.2f} "
+            f"(committed baseline {reference:.2f}, tolerance "
+            f"{BASELINE_TOLERANCE:.0%})"
+        )
+
+
+def _write_results(results: dict, filename: str) -> Path:
+    """Write to the out dir; refresh the repo-root baseline when asked."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(results, indent=2, sort_keys=True) + "\n"
+    out_path = OUT_DIR / filename
+    out_path.write_text(blob)
+    if os.environ.get("REPRO_BENCH_WRITE_ROOT") == "1":
+        (REPO_ROOT / filename).write_text(blob)
+    return out_path
+
+
 def test_bench_kernels(tmp_path):
-    results = {"line_words": LINE_WORDS}
+    results = {"schema_version": SCHEMA_VERSION, "line_words": LINE_WORDS}
     results.update(_bench_kernels())
+    results.update(_bench_row_kernels())
     results.update(_bench_traces())
     results.update(_bench_cold_cell(tmp_path))
+    results.update(_bench_batched_cells())
 
-    OUT_DIR.mkdir(parents=True, exist_ok=True)
-    out_path = OUT_DIR / "BENCH_kernels.json"
-    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    out_path = _write_results(results, "BENCH_kernels.json")
     print(
         f"\npopcount {results['popcount_speedup']:.1f}x, "
         f"sampling {results['sample_speedup']:.1f}x, "
+        f"row sampling {results['rows_sample_speedup']:.1f}x, "
+        f"DIN rows {results['din_rows_speedup']:.1f}x, "
         f"trace gen {results['trace_speedup']:.1f}x, "
         f"cold cell {results['cold_cell_s']:.3f}s "
-        f"({results['cold_cell_speedup']:.2f}x vs pre-PR) -> {out_path}"
+        f"({results['cold_cell_speedup']:.2f}x vs pre-PR, "
+        f"{results['cold_cell_speedup_vs_pr4']:.2f}x vs PR 4), "
+        f"batched cell {results['batched_amortized_cell_s']:.3f}s amortized "
+        f"-> {out_path}"
     )
 
     assert results["popcount_speedup"] >= MIN_POPCOUNT_SPEEDUP
@@ -193,3 +362,4 @@ def test_bench_kernels(tmp_path):
         f"{results['cold_cell_speedup']:.2f}x faster than the pre-PR "
         f"{PRE_PR_COLD_CELL_S}s baseline (need {MIN_CELL_SPEEDUP}x)"
     )
+    _check_against_baseline(results)

@@ -10,12 +10,20 @@ Three measurements, written machine-readably to ``BENCH_pool.json``:
 * ``serial_batch_s`` — the same second batch simulated serially, as the
   equivalence baseline: pooled payload hashes must match serial ones
   byte-for-byte.
+* ``batch_batch_s`` — a third batch through the cross-cell batched path
+  (one chunk per dispatch instead of one cell), also hash-checked
+  against its own serial run.  This is the calibration field the
+  adaptive planner seeds its ``batch`` per-cell cost from.
 
 The hard assertions are semantic (pool reused, plane hit, results
-identical); the wall-clock ratio is recorded but only loosely bounded —
-on a single-core CI runner process parallelism cannot beat serial
-compute, and the honest win there is the amortized fork + zero-copy
-trace reuse.
+identical, and the planner refusing to pool on a 1-CPU host); the
+wall-clock ratio is recorded but only loosely bounded — on a
+single-core CI runner process parallelism cannot beat serial compute,
+and the honest win there is the amortized fork + zero-copy trace reuse.
+
+Set ``REPRO_BENCH_WRITE_ROOT=1`` to refresh the repo-root
+``BENCH_pool.json`` baseline (the planner's calibration source) in
+place.
 """
 
 from __future__ import annotations
@@ -23,7 +31,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import time
+from pathlib import Path
 
 from conftest import OUT_DIR
 
@@ -32,8 +42,14 @@ from repro.experiments import common
 from repro.perf import engine
 from repro.perf.cache import ResultCache
 from repro.perf.engine import STATS, CellRunner
+from repro.perf.planner import AdaptivePlanner
 from repro.perf.pool import WARM_POOL
 from repro.traces import shm
+
+#: Bump when a field is renamed or its meaning changes; additions are free.
+SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 CELL = dict(length=300, cores=2)
 SCHEMES = (schemes.baseline(), schemes.din(), schemes.lazyc(),
@@ -57,8 +73,11 @@ def sweep_hash(results) -> str:
 
 def test_bench_warm_pool(tmp_path):
     engine.reset()
-    runner = CellRunner(jobs=2, cache=ResultCache(tmp_path / "pool",
-                                                  enabled=True))
+    # The bench measures the *forced* modes (that is what the planner's
+    # calibration is seeded from); auto mode would rightly pick serial
+    # on a 1-CPU CI runner and never fork the pool.
+    runner = CellRunner(jobs=2, plan="pool",
+                        cache=ResultCache(tmp_path / "pool", enabled=True))
 
     start = time.perf_counter()
     runner.run_cells(batch("mcf", seed=7))
@@ -84,10 +103,31 @@ def test_bench_warm_pool(tmp_path):
         "warm-pool + trace-plane results must be byte-identical to serial"
     )
 
+    # Third batch: the cross-cell batched path (four cells, one trace key,
+    # one chunk dispatch) with its own serial equivalence check.
+    third = batch("mcf", seed=13)
+    batch_runner = CellRunner(
+        jobs=2, plan="batch",
+        cache=ResultCache(tmp_path / "batched", enabled=True),
+    )
+    start = time.perf_counter()
+    chunked = batch_runner.run_cells(third)
+    batch_s = time.perf_counter() - start
+    assert STATS.batched_cells == len(third)
+    assert STATS.batch_dispatches == 1
+    third_serial = CellRunner(
+        jobs=1, cache=ResultCache(tmp_path / "serial3", enabled=True)
+    ).run_cells(third)
+    assert sweep_hash(chunked) == sweep_hash(third_serial), (
+        "batched-chunk results must be byte-identical to serial"
+    )
+
     results = {
+        "schema_version": SCHEMA_VERSION,
         "cold_batch_s": round(cold_s, 4),
         "warm_batch_s": round(warm_s, 4),
         "serial_batch_s": round(serial_s, 4),
+        "batch_batch_s": round(batch_s, 4),
         "warm_vs_cold_speedup": round(cold_s / max(warm_s, 1e-9), 2),
         "cells_per_batch": len(second),
         "jobs": runner.jobs,
@@ -96,13 +136,33 @@ def test_bench_warm_pool(tmp_path):
         "pool_generations": WARM_POOL.generation,
         "plane_segments": shm.PLANE.published,
         "plane_reuses": shm.PLANE.hits,
+        "batched_cells": STATS.batched_cells,
+        "batch_dispatches": STATS.batch_dispatches,
     }
     print("\n" + json.dumps(results, indent=2, sort_keys=True))
     OUT_DIR.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(results, indent=2, sort_keys=True) + "\n"
     out_path = OUT_DIR / "BENCH_pool.json"
-    out_path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    out_path.write_text(blob)
+    if os.environ.get("REPRO_BENCH_WRITE_ROOT") == "1":
+        (REPO_ROOT / "BENCH_pool.json").write_text(blob)
 
     # Generous sanity bound: reusing the warm pool must never be
     # drastically slower than paying a fresh fork for the same work.
     assert warm_s < max(cold_s * 3.0, 5.0), results
     engine.reset()
+
+
+def test_planner_refuses_to_pool_on_one_cpu(monkeypatch):
+    """The acceptance case: 1 effective CPU, small cold batch -> serial.
+
+    Seeded from this machine's own calibration (when the committed
+    baseline exists) or the defaults, the planner must decide that a
+    six-cell cold batch on a single CPU runs serially — pooling there
+    pays fork + IPC for no parallelism (BENCH_pool.json: 0.66s pooled
+    vs 0.54s serial for the same cells when this was measured).
+    """
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    planner = AdaptivePlanner()
+    assert planner.decide(6, jobs=4, batch_cells=8) == "serial"
+    assert planner.decide(2, jobs=2, batch_cells=1) == "serial"

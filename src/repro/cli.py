@@ -67,6 +67,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable cross-experiment pipelining (global spec prefetch "
         "into the warm pool); also REPRO_PIPELINE=0",
     )
+    exp.add_argument(
+        "--batch-cells",
+        type=int,
+        default=None,
+        help="cells per batched pool dispatch (default REPRO_BATCH_CELLS "
+        "or 8)",
+    )
+    exp.add_argument(
+        "--plan",
+        choices=("auto", "serial", "pool", "batch"),
+        default=None,
+        help="execution planner mode (default REPRO_PLAN or auto: the "
+        "adaptive planner picks per batch)",
+    )
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("stats", "clear"))
@@ -204,11 +218,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(
     names: List[str], jobs: Optional[int] = None, resume: bool = False,
-    no_pipeline: bool = False,
+    no_pipeline: bool = False, batch_cells: Optional[int] = None,
+    plan: Optional[str] = None,
 ) -> int:
     from .experiments import runner
 
     argv = ["--jobs", str(jobs)] if jobs is not None else []
+    if batch_cells is not None:
+        argv += ["--batch-cells", str(batch_cells)]
+    if plan is not None:
+        argv += ["--plan", plan]
     if resume:
         argv = ["--resume"] + argv
     if no_pipeline:
@@ -247,6 +266,11 @@ def _cmd_cache(action: str) -> int:
         ["session trace-plane reuses", shm.PLANE.hits],
         ["session prefetched cells", STATS.prefetched],
         ["session cross-experiment dedups", STATS.cross_exp_dedup],
+        ["session batched cells", STATS.batched_cells],
+        ["session batch dispatches", STATS.batch_dispatches],
+        ["session planner serial picks", STATS.planner_serial_picks],
+        ["session planner pool picks", STATS.planner_pool_picks],
+        ["session planner batch picks", STATS.planner_batch_picks],
     ]
     print(format_table("result cache", ["metric", "value"], rows))
     return 0
@@ -317,6 +341,21 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     )
     print("note: bit_kernels time is also inside write_plan; fine timing "
           "adds per-call overhead, so compare shares, not absolutes.")
+    from .pcm import stateplane
+    from .perf.engine import STATS
+    from .perf.planner import PLANNER
+
+    print(f"state plane: {stateplane.PLANE.summary()}")
+    costs = PLANNER.snapshot()
+    print(
+        "planner model (s/cell): "
+        + ", ".join(f"{mode}={cost:.3f}" for mode, cost in costs.items())
+        + f"; session picks: {STATS.planner_serial_picks} serial / "
+        f"{STATS.planner_pool_picks} pool / "
+        f"{STATS.planner_batch_picks} batch"
+        + f"; batched: {STATS.batched_cells} cells in "
+        f"{STATS.batch_dispatches} dispatches"
+    )
     return 0
 
 
@@ -353,7 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args.names, jobs=args.jobs, resume=args.resume,
-                               no_pipeline=args.no_pipeline)
+                               no_pipeline=args.no_pipeline,
+                               batch_cells=args.batch_cells, plan=args.plan)
     if args.command == "cache":
         return _cmd_cache(args.action)
     if args.command == "faults":

@@ -43,6 +43,7 @@ from ..faults.plan import FaultPlan
 from ..mem.controller import WriteOp
 from ..mem.request import PrereadSlot, Request, WriteEntry
 from ..pcm import line as L
+from ..pcm import stateplane
 from ..pcm.array import LineAddress, PCMArray
 from ..pcm.differential_write import correction_latency, plan_write_int
 from ..pcm.din import DINEncoder, wordline_vulnerable_mask_int
@@ -273,15 +274,13 @@ class VnCExecutor:
         """
         mask = self._weak_masks.get(key)
         if mask is None:
-            fraction = self.disturbance.weak_cell_fraction
-            if fraction >= 1.0:
-                mask = L.MASK_ALL
-            else:
-                rng = np.random.default_rng((0x5D9C, *key))
-                bits = (rng.random(LINE_BITS) < fraction).astype(np.uint8)
-                mask = int.from_bytes(
-                    np.packbits(bits, bitorder="little").tobytes(), "little"
-                )
+            # Delegated to the process-wide state plane: the mask is a pure
+            # function of (fraction, key), so executors across cells and
+            # batches share one generation.  The per-executor dict stays as
+            # the in-plan fast path (no plane probe per sample).
+            mask = stateplane.PLANE.weak_mask(
+                self.disturbance.weak_cell_fraction, key
+            )
             self._weak_masks[key] = mask
         return mask
 

@@ -19,6 +19,10 @@ Knobs parsed here:
 ``REPRO_CACHE_DIR``    result-cache directory (``~/.cache/repro``)
 ``REPRO_PROFILE``      non-``0``/empty enables fine-grained phase timing (off)
 ``REPRO_PIPELINE``     ``0`` disables cross-experiment pipelining (on)
+``REPRO_BATCH_CELLS``  cells per batched pool dispatch (int >= 1; 8)
+``REPRO_PLAN``         execution planner mode: ``auto``/``serial``/``pool``/
+                       ``batch`` (auto)
+``REPRO_STATE_PLANE``  ``0`` disables the deterministic state plane (on)
 =====================  =========================================================
 """
 
@@ -139,3 +143,34 @@ def profile_fine() -> bool:
 def pipeline_enabled() -> bool:
     """Whether cross-experiment pipelining is on (``REPRO_PIPELINE``)."""
     return env_flag("REPRO_PIPELINE", True)
+
+
+#: Legal values for ``REPRO_PLAN`` / ``--plan`` / ``CellRunner(plan=...)``.
+PLAN_MODES = ("auto", "serial", "pool", "batch")
+
+
+def batch_cells() -> int:
+    """Cells per batched pool dispatch (``REPRO_BATCH_CELLS``, default 8)."""
+    return env_int("REPRO_BATCH_CELLS", 8, minimum=1)
+
+
+def plan_mode() -> str:
+    """Execution planner mode (``REPRO_PLAN``, default ``auto``).
+
+    ``auto`` lets the adaptive planner pick per batch; ``serial``,
+    ``pool``, and ``batch`` force that execution path.
+    """
+    raw = os.environ.get("REPRO_PLAN")
+    if raw is None:
+        return "auto"
+    value = raw.strip().lower()
+    if value not in PLAN_MODES:
+        raise ValueError(
+            f"REPRO_PLAN must be one of {'/'.join(PLAN_MODES)}, got {raw!r}"
+        )
+    return value
+
+
+def state_plane_enabled() -> bool:
+    """Whether the deterministic state plane is on (``REPRO_STATE_PLANE``)."""
+    return env_flag("REPRO_STATE_PLANE", True)

@@ -222,6 +222,8 @@ def collect_sweep_specs(names: List[str]) -> List[object]:
 def main(argv: list[str]) -> int:
     json_dir = None
     jobs = None
+    batch_cells = None
+    plan = None
     resume = False
     pipeline = envconfig.pipeline_enabled()
     names: list[str] = []
@@ -232,22 +234,34 @@ def main(argv: list[str]) -> int:
             resume = True
         elif arg == "--no-pipeline":
             pipeline = False
-        elif arg in ("--json", "--jobs"):
+        elif arg in ("--json", "--jobs", "--batch-cells", "--plan"):
             if not argv:
                 print(f"{arg} requires a value")
                 return 2
             value = argv.pop(0)
             if arg == "--json":
                 json_dir = value
+            elif arg == "--plan":
+                if value not in envconfig.PLAN_MODES:
+                    print(
+                        f"--plan must be one of "
+                        f"{'/'.join(envconfig.PLAN_MODES)}, got {value!r}"
+                    )
+                    return 2
+                plan = value
             else:
                 try:
-                    jobs = int(value)
+                    parsed = int(value)
                 except ValueError:
-                    print(f"--jobs requires an integer, got {value!r}")
+                    print(f"{arg} requires an integer, got {value!r}")
                     return 2
-                if jobs < 1:
-                    print(f"--jobs must be >= 1, got {jobs}")
+                if parsed < 1:
+                    print(f"{arg} must be >= 1, got {parsed}")
                     return 2
+                if arg == "--jobs":
+                    jobs = parsed
+                else:
+                    batch_cells = parsed
         else:
             names.append(arg)
     requested = names or list(EXPERIMENTS)
@@ -257,7 +271,7 @@ def main(argv: list[str]) -> int:
         return 2
     # One persistent runner for the whole sweep: the in-flight prefetch
     # table and the warm pool live on it across experiments.
-    runner = engine.configure(jobs=jobs)
+    runner = engine.configure(jobs=jobs, plan=plan, batch_cells=batch_cells)
     manifest = load_manifest() if resume else {}
     if not resume:
         # A fresh sweep starts a fresh checkpoint ledger.

@@ -33,6 +33,7 @@ import numpy as np
 from ..config import LINES_PER_PAGE, LINE_WORDS
 from ..errors import DeviceError
 from . import line as L
+from . import stateplane
 
 Coord = Tuple[int, int, int]  # (bank, row, line)
 
@@ -97,10 +98,11 @@ class PCMArray:
         state = self._rows.get(key)
         if state is None:
             self._check(bank, row)
-            rng = np.random.default_rng((self._seed, bank, row))
-            stored = rng.integers(
-                0, 1 << 64, size=(LINES_PER_PAGE, LINE_WORDS), dtype=L.WORD_DTYPE
-            )
+            # The pristine image is a pure function of (seed, bank, row);
+            # the process-wide state plane generates it once and every
+            # array sharing the key copies the pooled bytes (rows are
+            # mutated by commits, so the pooled original stays read-only).
+            stored = stateplane.PLANE.pristine_row(self._seed, bank, row).copy()
             flags = np.zeros(LINES_PER_PAGE, dtype=L.WORD_DTYPE)
             disturbed = np.zeros((LINES_PER_PAGE, LINE_WORDS), dtype=L.WORD_DTYPE)
             state = RowState(stored, flags, disturbed)

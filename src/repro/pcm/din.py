@@ -184,6 +184,31 @@ class DINEncoder:
         xor_words = _flag_expand_table()[flag_bytes]
         return stored ^ int.from_bytes(xor_words.tobytes(), "little")
 
+    def encode_stored_rows(
+        self, physical: np.ndarray, data: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Row-batched :meth:`encode_stored_int` over ``(N, 8)`` line batches.
+
+        One LUT gather covers every byte of every line in the batch:
+        returns ``(stored, flags)`` where ``stored`` is ``(N, 8)`` uint64
+        and ``flags`` is ``(N,)`` uint64 — row ``r`` equal to
+        ``encode_stored_int`` of the corresponding int-domain line pair.
+        """
+        n = len(physical)
+        old = physical.view(np.uint8).reshape(n, -1)
+        raw = data.view(np.uint8).reshape(n, -1)
+        stored = _stored_table()[old, raw].view(L.WORD_DTYPE)
+        flags = np.packbits(
+            _invert_table()[old, raw], axis=1, bitorder="little"
+        ).view(np.uint64).reshape(n)
+        return stored, flags
+
+    def decode_rows(self, stored: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        """Row-batched :meth:`decode_int`: one flag expansion + XOR per batch."""
+        n = len(stored)
+        flag_bytes = flags.astype(np.uint64).view(np.uint8).reshape(n, 8)
+        return stored ^ _flag_expand_table()[flag_bytes]
+
     def vulnerable_pairs(self, physical: np.ndarray, stored: np.ndarray) -> int:
         """Count word-line-vulnerable pairs a stored image would create."""
         table = _vulnerability_table()

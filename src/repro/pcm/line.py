@@ -279,6 +279,32 @@ def _sample_int_nonempty(
     return out
 
 
+def pack_rows(values: List[int]) -> np.ndarray:
+    """Pack int-domain line masks into one contiguous ``(N, 8)`` array.
+
+    This is the batch layout the cross-cell execution layer works in:
+    row ``r`` is :func:`from_int` of ``values[r]``, stored contiguously so
+    row-batched kernels (:func:`popcount_rows`, :func:`sample_masks_rows`,
+    the DIN LUT coders) touch one buffer instead of N lines.
+    """
+    if not values:
+        return np.zeros((0, LINE_WORDS), dtype=WORD_DTYPE)
+    payload = b"".join(v.to_bytes(LINE_BITS // 8, "little") for v in values)
+    return np.frombuffer(payload, dtype=WORD_DTYPE).reshape(
+        len(values), LINE_WORDS
+    ).copy()
+
+
+def unpack_rows(rows: np.ndarray) -> List[int]:
+    """Int-domain masks of an ``(N, 8)`` batch (inverse of :func:`pack_rows`)."""
+    data = rows.tobytes()
+    stride = LINE_BITS // 8
+    return [
+        int.from_bytes(data[r * stride:(r + 1) * stride], "little")
+        for r in range(len(rows))
+    ]
+
+
 def sample_masks(
     candidates: np.ndarray, probability: float, rng: np.random.Generator
 ) -> np.ndarray:
@@ -287,35 +313,46 @@ def sample_masks(
     RNG-stream-equivalent to calling :func:`sample_mask` on each row in
     order: ``Generator.random(n)`` consumes exactly ``n`` uniforms, so one
     ``random(n_1 + ... + n_N)`` draw splits into the per-row draws the
-    sequential calls would have made.
+    sequential calls would have made.  Delegates to the fully vectorized
+    :func:`sample_masks_rows` (same stream contract).
     """
-    rows = len(candidates)
-    out = np.zeros((rows, LINE_WORDS), dtype=WORD_DTYPE)
-    if probability <= 0.0:
+    return sample_masks_rows(np.asarray(candidates), probability, rng)
+
+
+def sample_masks_rows(
+    rows: np.ndarray, probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Row-vectorized disturbance sampling over an ``(N, 8)`` batch.
+
+    Unlike the per-row ``_apply_keep`` walk, every step here is one numpy
+    call over the whole batch: unpack all N×512 cells, draw one
+    ``rng.random(total)`` block, scatter the kept bits, repack.  The draw
+    order is identical to sequential :func:`sample_mask` calls — set bits
+    are enumerated row-major in ascending cell order, exactly the order
+    the scalar kernel's low-bit extraction visits them — so the RNG
+    stream (count *and* assignment) matches draw-for-draw.
+    """
+    n_rows = len(rows)
+    out = np.zeros((n_rows, LINE_WORDS), dtype=WORD_DTYPE)
+    if n_rows == 0 or probability <= 0.0:
         return out
-    values = [
-        int.from_bytes(candidates[r].tobytes(), "little") for r in range(rows)
-    ]
     if probability >= 1.0:
-        for r, value in enumerate(values):
-            if value:
-                out[r] = from_int(value)
+        out[:] = rows
         return out
-    counts = [value.bit_count() for value in values]
-    total = sum(counts)
+    bits = np.unpackbits(
+        rows.view(np.uint8).reshape(n_rows, -1), axis=1, bitorder="little"
+    )
+    total = int(bits.sum())
     if total == 0:
         return out
-    keep = rng.random(total)
-    offset = 0
-    for r, value in enumerate(values):
-        n = counts[r]
-        if n:
-            # Each row sees exactly the draws its sequential call would.
-            sub = keep[offset:offset + n] < probability
-            picked = _apply_keep(value, sub)
-            if picked:
-                out[r] = from_int(picked)
-            offset += n
+    keep = rng.random(total) < probability
+    if keep.any():
+        r_idx, c_idx = np.nonzero(bits)  # row-major, ascending cell order
+        kept_bits = np.zeros_like(bits)
+        kept_bits[r_idx[keep], c_idx[keep]] = 1
+        out[:] = np.packbits(
+            kept_bits, axis=1, bitorder="little"
+        ).view(WORD_DTYPE)
     return out
 
 

@@ -22,6 +22,16 @@ reused across batches and experiments, and each distinct workload trace
 is synthesized once in the parent and shared with workers zero-copy via
 the :mod:`repro.traces.shm` trace plane.
 
+Each cold batch runs in one of three modes — in-process **serial**,
+per-cell **pool** dispatch, or **batched** dispatch (one future per
+multi-cell chunk, see :mod:`repro.perf.batch`).  ``REPRO_PLAN`` /
+``CellRunner(plan=...)`` forces a mode; the default ``auto`` consults
+the :data:`~repro.perf.planner.PLANNER`, which costs the three modes
+from committed-benchmark calibration plus online timings and, e.g.,
+picks serial on a 1-CPU host where pooling can only add overhead.
+All three modes are byte-identical: every cell is an independent
+simulation seeded from its own spec.
+
 Pooled execution is crash-proof: a worker that raises, dies (broken
 pool), or exceeds the per-cell wall-clock budget (``REPRO_CELL_TIMEOUT``
 seconds) only fails *its* cells.  Any failure retires the warm pool's
@@ -60,9 +70,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .. import envconfig
 from ..core.results import SimulationResult
 from ..errors import CellTimeoutError, WorkerCrashError
+from ..pcm import stateplane
 from ..traces import shm
+from . import batch as batchexec
 from .cache import ResultCache
 from .cellspec import CellSpec, cache_key, simulate_cell
+from .planner import PLANNER
 from .pool import WARM_POOL, defer_sigint
 from .profiler import PROFILER, Snapshot
 
@@ -128,6 +141,14 @@ class EngineStats:
     inflight_hits: int = 0
     #: Duplicate specs dropped by cross-experiment (global) dedup.
     cross_exp_dedup: int = 0
+    #: Cells advanced inside a multi-cell batched dispatch.
+    batched_cells: int = 0
+    #: Batched chunk futures submitted to the pool.
+    batch_dispatches: int = 0
+    #: Adaptive-planner decisions, by chosen mode (``auto`` plan only).
+    planner_serial_picks: int = 0
+    planner_pool_picks: int = 0
+    planner_batch_picks: int = 0
 
     def reset(self) -> None:
         self.cache_hits = 0
@@ -142,6 +163,11 @@ class EngineStats:
         self.prefetched = 0
         self.inflight_hits = 0
         self.cross_exp_dedup = 0
+        self.batched_cells = 0
+        self.batch_dispatches = 0
+        self.planner_serial_picks = 0
+        self.planner_pool_picks = 0
+        self.planner_batch_picks = 0
 
     def cache_hit_rate(self) -> Optional[float]:
         """Cache hits as a fraction of resolved cells (None before any)."""
@@ -186,6 +212,25 @@ class EngineStats:
                 f"{self.inflight_hits} collected, "
                 f"{self.cross_exp_dedup} cross-experiment dedups"
             )
+        picks = (
+            self.planner_serial_picks
+            + self.planner_pool_picks
+            + self.planner_batch_picks
+        )
+        if picks:
+            base += (
+                f"; planner: {self.planner_serial_picks} serial / "
+                f"{self.planner_pool_picks} pool / "
+                f"{self.planner_batch_picks} batch picks"
+            )
+        if self.batched_cells:
+            base += (
+                f"; batch: {self.batched_cells} cells in "
+                f"{self.batch_dispatches} dispatches"
+            )
+        plane = stateplane.PLANE
+        if plane.row_hits or plane.mask_hits:
+            base += f"; state plane: {plane.summary()}"
         phases = PROFILER.summary()
         return f"{base}; phases: {phases}" if phases else base
 
@@ -201,7 +246,9 @@ class CellRunner:
                  cache: Optional[ResultCache] = None,
                  retries: Optional[int] = None,
                  cell_timeout: Optional[float] = None,
-                 backoff: Optional[float] = None):
+                 backoff: Optional[float] = None,
+                 plan: Optional[str] = None,
+                 batch_cells: Optional[int] = None):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -213,6 +260,19 @@ class CellRunner:
             cell_timeout if cell_timeout is not None else default_cell_timeout()
         )
         self.backoff = backoff if backoff is not None else default_backoff()
+        self.plan = plan if plan is not None else envconfig.plan_mode()
+        if self.plan not in envconfig.PLAN_MODES:
+            raise ValueError(
+                f"plan must be one of {'/'.join(envconfig.PLAN_MODES)}, "
+                f"got {self.plan!r}"
+            )
+        self.batch_cells = (
+            batch_cells if batch_cells is not None else envconfig.batch_cells()
+        )
+        if self.batch_cells < 1:
+            raise ValueError(
+                f"batch_cells must be >= 1, got {self.batch_cells}"
+            )
         #: Prefetched cells still cooking in the warm pool, by cache key.
         self._inflight: Dict[str, Future] = {}
         self._inflight_specs: Dict[str, CellSpec] = {}
@@ -339,15 +399,138 @@ class CellRunner:
         self, specs: List[CellSpec], on_result: Optional[_OnResult] = None
     ) -> List[SimulationResult]:
         notify = on_result or (lambda index, result: None)
-        if self.jobs <= 1 or len(specs) <= 1:
-            # In-process: simulate_cell feeds PROFILER directly.
-            out = []
-            for index, spec in enumerate(specs):
-                result = simulate_cell(spec)
-                notify(index, result)
-                out.append(result)
+        if not specs:
+            return []
+        mode = self._pick_mode(len(specs))
+        pool_alive = WARM_POOL.alive
+        start = time.monotonic()
+        if mode == "serial":
+            # In-process, chunk-grouped for state-plane and trace-memo
+            # locality: simulate_cell feeds PROFILER directly.
+            out = batchexec.simulate_batch(specs, notify, self.batch_cells)
+            PLANNER.observe("serial", len(specs), time.monotonic() - start)
             return out
-        return self._simulate_pooled(specs, notify)
+        if mode == "batch":
+            out = self._simulate_batched(specs, notify)
+            PLANNER.observe("batch", len(specs), time.monotonic() - start)
+            return out
+        out = self._simulate_pooled(specs, notify)
+        PLANNER.observe(
+            "pool_warm" if pool_alive else "pool_cold",
+            len(specs), time.monotonic() - start,
+        )
+        return out
+
+    def _pick_mode(self, cells: int) -> str:
+        """Resolve the execution mode for one cold batch.
+
+        A forced plan (``REPRO_PLAN`` / ``plan=``) is honoured outright
+        — except that pooled modes degrade to serial when there is
+        nothing to overlap (one worker or one cell), preserving the
+        pre-planner contract.  ``auto`` consults the adaptive planner
+        and records its pick in the session counters.
+        """
+        trivial = self.jobs <= 1 or cells <= 1
+        if self.plan != "auto":
+            return "serial" if trivial else self.plan
+        if trivial:
+            return "serial"
+        mode = PLANNER.decide(
+            cells, self.jobs, self.batch_cells, WARM_POOL.alive
+        )
+        if mode == "serial":
+            STATS.planner_serial_picks += 1
+        elif mode == "pool":
+            STATS.planner_pool_picks += 1
+        else:
+            STATS.planner_batch_picks += 1
+        return mode
+
+    def _simulate_batched(
+        self, specs: List[CellSpec], notify: _OnResult
+    ) -> List[SimulationResult]:
+        """Batched pool execution: one future advances a whole chunk.
+
+        Chunks that fail (worker crash, hang, broken pool) rejoin the
+        per-cell retry ladder cell by cell — the batched path only adds
+        one cheap attempt in front of the crash-proofing, it never
+        weakens it.  Failure counters tick once per failed *dispatch*
+        here; the per-cell ladder then accounts the rejoined cells as
+        usual.  Non-batchable specs (active fault plans) skip straight
+        to the per-cell ladder.
+        """
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        chunks, singles = batchexec.plan_batches(specs, self.batch_cells)
+        failed_cells: List[int] = []
+        futures: Dict[int, Future] = {}
+        submitted: Dict[int, List[int]] = {}
+        if chunks:
+            pool = self._get_pool(min(self.jobs, len(chunks)))
+            try:
+                for position, chunk in enumerate(chunks):
+                    handles = []
+                    names = set()
+                    for index in chunk:
+                        handle = _publish_trace(specs[index])
+                        if handle is not None and handle.name not in names:
+                            names.add(handle.name)
+                            handles.append(handle)
+                    chunk_specs = [specs[index] for index in chunk]
+                    with defer_sigint():
+                        futures[position] = pool.submit(
+                            batchexec.simulate_chunk, chunk_specs, handles
+                        )
+                    submitted[position] = chunk
+                    STATS.batch_dispatches += 1
+            except (BrokenProcessPool, RuntimeError):
+                for future in futures.values():
+                    future.cancel()
+                STATS.worker_crashes += 1
+                self._retire_pool(terminate=False)
+                failed_cells.extend(
+                    index for chunk in chunks for index in chunk
+                )
+                futures = {}
+                submitted = {}
+        if futures:
+            # A chunk's wall clock is its cell count times one cell's, so
+            # the no-progress window scales with the largest chunk.
+            timeout = None
+            if self.cell_timeout:
+                timeout = self.cell_timeout * max(
+                    len(chunk) for chunk in submitted.values()
+                )
+            payloads, failed, hung, broken = self._collect_futures(
+                futures, timeout=timeout
+            )
+            for position, (chunk_results, phases) in payloads.items():
+                PROFILER.merge(phases)
+                chunk = submitted[position]
+                STATS.batched_cells += len(chunk)
+                for index, result in zip(chunk, chunk_results):
+                    results[index] = result
+                    notify(index, result)
+            if hung or broken or failed:
+                self._retire_pool(terminate=hung)
+            for position in failed:
+                failed_cells.extend(submitted[position])
+        if failed_cells:
+            STATS.worker_retries += len(failed_cells)
+        pending = sorted(singles + failed_cells)
+        if pending:
+            sub_specs = [specs[index] for index in pending]
+
+            def sub_notify(position: int, result: SimulationResult) -> None:
+                notify(pending[position], result)
+
+            if len(sub_specs) > 1:
+                sub_results = self._simulate_pooled(sub_specs, sub_notify)
+            else:
+                sub_results = [simulate_cell(sub_specs[0])]
+                sub_notify(0, sub_results[0])
+            for index, result in zip(pending, sub_results):
+                results[index] = result
+        return results  # type: ignore[return-value]  # every slot is filled
 
     def _simulate_pooled(
         self, specs: List[CellSpec], notify: _OnResult
@@ -427,7 +610,8 @@ class CellRunner:
         return failed
 
     def _collect_futures(
-        self, futures: Dict[object, Future]
+        self, futures: Dict[object, Future],
+        timeout: Optional[float] = None,
     ) -> Tuple[Dict[object, tuple], List[object], bool, bool]:
         """Deadline-based collection of (result, phases) payloads.
 
@@ -438,12 +622,15 @@ class CellRunner:
         (unlike the old submission-order ``result(timeout=...)`` walk,
         where N hung cells serially accumulated N budgets and a cell's
         window silently included time spent waiting on earlier futures).
+        ``timeout`` overrides the per-cell budget (the batched path
+        scales it by chunk size); ``None`` uses ``self.cell_timeout``.
         """
         payloads: Dict[object, tuple] = {}
         failed: List[object] = []
         hung = broken = False
         pending = dict(futures)
-        timeout = self.cell_timeout
+        if timeout is None:
+            timeout = self.cell_timeout
         deadline = (time.monotonic() + timeout) if timeout else None
         while pending:
             if deadline is not None:
@@ -544,10 +731,14 @@ _configured: Optional[CellRunner] = None
 
 
 def configure(jobs: Optional[int] = None,
-              cache: Optional[ResultCache] = None) -> CellRunner:
-    """Install the session's runner (used by the CLI's ``--jobs``)."""
+              cache: Optional[ResultCache] = None,
+              plan: Optional[str] = None,
+              batch_cells: Optional[int] = None) -> CellRunner:
+    """Install the session's runner (the CLI's ``--jobs``/``--batch-cells``)."""
     global _configured
-    _configured = CellRunner(jobs=jobs, cache=cache)
+    _configured = CellRunner(
+        jobs=jobs, cache=cache, plan=plan, batch_cells=batch_cells
+    )
     return _configured
 
 
@@ -576,6 +767,8 @@ def reset() -> None:
     _configured = None
     STATS.reset()
     PROFILER.reset()
+    PLANNER.reset()
+    stateplane.PLANE.reset()
     WARM_POOL.shutdown()
     WARM_POOL.reset_counters()
     shm.reset()

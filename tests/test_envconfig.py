@@ -18,6 +18,7 @@ def _clean_env(monkeypatch):
         "REPRO_JOBS", "REPRO_RETRIES", "REPRO_CELL_TIMEOUT",
         "REPRO_RETRY_BACKOFF", "REPRO_TRACE_LEN", "REPRO_CORES",
         "REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_PROFILE", "REPRO_PIPELINE",
+        "REPRO_BATCH_CELLS", "REPRO_PLAN", "REPRO_STATE_PLANE",
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -115,6 +116,37 @@ class TestAccessors:
         monkeypatch.setenv("REPRO_PIPELINE", "0")
         assert envconfig.pipeline_enabled() is False
 
+    def test_batch_cells(self, monkeypatch):
+        assert envconfig.batch_cells() == 8
+        monkeypatch.setenv("REPRO_BATCH_CELLS", "16")
+        assert envconfig.batch_cells() == 16
+        monkeypatch.setenv("REPRO_BATCH_CELLS", "0")
+        with pytest.raises(ValueError, match="REPRO_BATCH_CELLS must be >= 1"):
+            envconfig.batch_cells()
+        monkeypatch.setenv("REPRO_BATCH_CELLS", "lots")
+        with pytest.raises(ValueError, match="REPRO_BATCH_CELLS must be"):
+            envconfig.batch_cells()
+
+    def test_plan_mode(self, monkeypatch):
+        assert envconfig.plan_mode() == "auto"
+        for mode in envconfig.PLAN_MODES:
+            monkeypatch.setenv("REPRO_PLAN", mode)
+            assert envconfig.plan_mode() == mode
+        monkeypatch.setenv("REPRO_PLAN", " Batch ")
+        assert envconfig.plan_mode() == "batch"  # trimmed, case-insensitive
+        monkeypatch.setenv("REPRO_PLAN", "parallel")
+        with pytest.raises(
+            ValueError, match="REPRO_PLAN must be one of auto/serial/pool/batch"
+        ):
+            envconfig.plan_mode()
+
+    def test_state_plane_flag(self, monkeypatch):
+        assert envconfig.state_plane_enabled() is True
+        monkeypatch.setenv("REPRO_STATE_PLANE", "0")
+        assert envconfig.state_plane_enabled() is False
+        monkeypatch.setenv("REPRO_STATE_PLANE", "1")
+        assert envconfig.state_plane_enabled() is True
+
 
 class TestConsumersDelegate:
     """The old per-module parsers now route through envconfig."""
@@ -148,6 +180,8 @@ class TestConsumersDelegate:
             "REPRO_RETRY_BACKOFF": envconfig.retry_backoff,
             "REPRO_TRACE_LEN": envconfig.trace_length,
             "REPRO_CORES": envconfig.core_count,
+            "REPRO_BATCH_CELLS": envconfig.batch_cells,
+            "REPRO_PLAN": envconfig.plan_mode,
         }
         for name, accessor in cases.items():
             monkeypatch.setenv(name, "garbage")
