@@ -8,10 +8,15 @@ Measurements, written machine-readably to ``BENCH_kernels.json``:
   asserted ratios are machine-independent.
 * **Trace synthesis** — the vectorized generator against an inline replica
   of the original per-record Python loop (also an equivalence check).
-* **Cold cell** — one cold-cache simulation cell, compared to the pre-PR
-  wall time recorded when this optimisation landed; the headline ≥3x
-  acceptance number.  ``pr4_cold_cell_s`` records the warm-pool PR's
-  reference so successive PRs can see the trend.
+* **Cold cell** — one cold-cache simulation cell under *every* kernel
+  backend available on this host (``python``/``numpy``/``compiled``),
+  with a hard byte-identity gate across the backends.  The best
+  backend's time is the headline ``cold_cell_s`` (compared to the pre-PR
+  wall time for the ≥3x acceptance number; ``pr4_cold_cell_s`` keeps the
+  warm-pool PR's reference so the trend stays visible), and the
+  per-backend table is the calibration the adaptive planner seeds its
+  kernel-backend picks from — guarded by the measuring host's
+  fingerprint, so calibration never transfers across machines.
 * **Batched cells** — a four-cell batch through the cross-cell batch
   layer versus the same cells per-cell, with a hard byte-identity check
   (the CI divergence gate) and the amortized per-cell time.
@@ -51,7 +56,9 @@ from repro.traces.synthetic import SyntheticTraceGenerator, _zipf_page_sampler
 from conftest import OUT_DIR
 
 #: Bump when a field is renamed or its meaning changes; additions are free.
-SCHEMA_VERSION = 1
+#: v2: per-backend ``backends`` cold-cell table + measuring ``host``
+#: fingerprint (the planner's kernel calibration source).
+SCHEMA_VERSION = 2
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -63,6 +70,12 @@ PRE_PR_COLD_CELL_S = 2.209
 #: baseline, recorded so the per-PR trend stays visible in the JSON.
 PR4_COLD_CELL_S = 0.65
 MIN_CELL_SPEEDUP = 3.0
+#: The aspirational cold-cell wall time for the reference cell.  A
+#: multi-core dev box with the compiled backend gets there; the 1-CPU CI
+#: runner honestly does not, so the target is *recorded* (with a
+#: ``cold_cell_target_met`` flag) rather than asserted — the enforced
+#: gates are the same-run speedup ratios, which transfer across hosts.
+COLD_CELL_TARGET_S = 0.15
 MIN_POPCOUNT_SPEEDUP = 2.0
 MIN_SAMPLE_SPEEDUP = 1.2
 MIN_TRACE_SPEEDUP = 3.0
@@ -77,6 +90,7 @@ MIN_TRACE_SPEEDUP = 3.0
 BASELINE_RATIO_FIELDS = (
     "popcount_speedup", "sample_speedup", "trace_speedup",
     "rows_sample_speedup", "din_rows_speedup",
+    "kernel_numpy_speedup", "kernel_compiled_speedup",
 )
 BASELINE_TOLERANCE = 0.8
 
@@ -242,24 +256,65 @@ def _bench_traces() -> dict:
 
 
 def _bench_cold_cell(tmp_path) -> dict:
+    """The reference cell, cold, under every kernel backend on this host.
+
+    Byte-identity across the backends is a hard gate; the per-backend
+    times become the ``backends`` calibration table the adaptive planner
+    seeds its kernel picks from (host-fingerprint guarded).
+    """
+    from repro.pcm import kernels
+
     spec = common.cell(
         "mcf", schemes.by_name("LazyC+PreRead"), length=1200, cores=4
     )
-    best = float("inf")
-    for attempt in range(3):
-        runner = CellRunner(
-            jobs=1, cache=ResultCache(tmp_path / f"c{attempt}", enabled=True)
-        )
-        t0 = time.perf_counter()
-        runner.run_cells([spec])
-        best = min(best, time.perf_counter() - t0)
-    return {
+    engine.reset()
+    backends: dict = {}
+    digests: dict = {}
+    for name in kernels.available_backends():
+        best = float("inf")
+        for attempt in range(2):
+            runner = CellRunner(
+                jobs=1, kernel_backend=name,
+                cache=ResultCache(tmp_path / f"{name}{attempt}", enabled=True),
+            )
+            t0 = time.perf_counter()
+            results = runner.run_cells([spec])
+            best = min(best, time.perf_counter() - t0)
+        digests[name] = _digest(results)
+        entry = {"cold_cell_s": best}
+        flavor = getattr(kernels.get_backend(name), "flavor", None)
+        if flavor:
+            entry["flavor"] = flavor
+        backends[name] = entry
+    engine.reset()
+
+    # The CI divergence gate: every backend, the same bytes.
+    assert digests and all(d == digests["python"] for d in digests.values()), (
+        f"kernel backends diverged from the pure-Python reference: {digests}"
+    )
+    best_backend = min(backends, key=lambda n: backends[n]["cold_cell_s"])
+    best = backends[best_backend]["cold_cell_s"]
+    python_s = backends["python"]["cold_cell_s"]
+    out = {
         "cold_cell_s": best,
+        "best_backend": best_backend,
+        "backends": backends,
+        "kernel_backends_identical": True,
+        "cold_cell_target_s": COLD_CELL_TARGET_S,
+        "cold_cell_target_met": best <= COLD_CELL_TARGET_S,
         "pre_pr_cold_cell_s": PRE_PR_COLD_CELL_S,
         "pr4_cold_cell_s": PR4_COLD_CELL_S,
         "cold_cell_speedup": PRE_PR_COLD_CELL_S / max(best, 1e-12),
         "cold_cell_speedup_vs_pr4": PR4_COLD_CELL_S / max(best, 1e-12),
     }
+    # Same-run cross-backend ratios: these transfer across hosts, so
+    # they (not the absolute target) are what the baseline check gates.
+    for name in ("numpy", "compiled"):
+        if name in backends:
+            out[f"kernel_{name}_speedup"] = python_s / max(
+                backends[name]["cold_cell_s"], 1e-12
+            )
+    return out
 
 
 def _digest(results) -> str:
@@ -313,6 +368,10 @@ def _check_against_baseline(results: dict) -> None:
         reference = baseline.get(field)
         if not isinstance(reference, (int, float)) or reference <= 0:
             continue
+        if field not in results:
+            # A per-backend ratio the current host cannot measure (say,
+            # no compiled backend here): nothing to gate.
+            continue
         floor = reference * BASELINE_TOLERANCE
         assert results[field] >= floor, (
             f"{field} regressed: {results[field]:.2f} < {floor:.2f} "
@@ -333,7 +392,13 @@ def _write_results(results: dict, filename: str) -> Path:
 
 
 def test_bench_kernels(tmp_path):
-    results = {"schema_version": SCHEMA_VERSION, "line_words": LINE_WORDS}
+    from repro.perf.planner import host_fingerprint
+
+    results = {
+        "schema_version": SCHEMA_VERSION,
+        "line_words": LINE_WORDS,
+        "host": host_fingerprint(),
+    }
     results.update(_bench_kernels())
     results.update(_bench_row_kernels())
     results.update(_bench_traces())
@@ -347,9 +412,15 @@ def test_bench_kernels(tmp_path):
         f"row sampling {results['rows_sample_speedup']:.1f}x, "
         f"DIN rows {results['din_rows_speedup']:.1f}x, "
         f"trace gen {results['trace_speedup']:.1f}x, "
-        f"cold cell {results['cold_cell_s']:.3f}s "
+        f"cold cell {results['cold_cell_s']:.3f}s via "
+        f"{results['best_backend']} "
         f"({results['cold_cell_speedup']:.2f}x vs pre-PR, "
-        f"{results['cold_cell_speedup_vs_pr4']:.2f}x vs PR 4), "
+        f"{results['cold_cell_speedup_vs_pr4']:.2f}x vs PR 4; "
+        + ", ".join(
+            f"{name}={entry['cold_cell_s']:.3f}s"
+            for name, entry in results["backends"].items()
+        )
+        + "), "
         f"batched cell {results['batched_amortized_cell_s']:.3f}s amortized "
         f"-> {out_path}"
     )

@@ -47,7 +47,9 @@ from repro.perf.pool import WARM_POOL
 from repro.traces import shm
 
 #: Bump when a field is renamed or its meaning changes; additions are free.
-SCHEMA_VERSION = 1
+#: v2: measuring ``host`` fingerprint — the planner ignores committed
+#: calibration recorded on a materially different machine.
+SCHEMA_VERSION = 2
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -122,8 +124,11 @@ def test_bench_warm_pool(tmp_path):
         "batched-chunk results must be byte-identical to serial"
     )
 
+    from repro.perf.planner import host_fingerprint
+
     results = {
         "schema_version": SCHEMA_VERSION,
+        "host": host_fingerprint(),
         "cold_batch_s": round(cold_s, 4),
         "warm_batch_s": round(warm_s, 4),
         "serial_batch_s": round(serial_s, 4),

@@ -1,2 +1,68 @@
+"""Best-effort build of the optional compiled kernel backend.
+
+The package is pure Python plus one optional C shared library
+(``src/repro/pcm/kernels/_kernels.c``).  Installation must succeed on
+hosts with no C toolchain, so the library is built opportunistically: a
+missing compiler or a failed compile just leaves the package pure
+Python, and the kernel registry degrades to the reference backend at
+runtime (which can also build the library on demand into the user
+cache the first time the compiled backend is requested).
+"""
+
+import os
+import shutil
+import subprocess
+from pathlib import Path
+
 from setuptools import setup
-setup()
+from setuptools.command.build_py import build_py
+
+KERNEL_SOURCE = (
+    Path(__file__).parent / "src" / "repro" / "pcm" / "kernels" / "_kernels.c"
+)
+
+
+class build_py_with_kernels(build_py):
+    """``build_py`` plus an optional compile of the kernel library."""
+
+    def run(self):
+        super().run()
+        self._build_kernel_library()
+
+    def _build_kernel_library(self):
+        if not KERNEL_SOURCE.exists():
+            return
+        # Same compiler resolution as the runtime on-demand build:
+        # REPRO_KERNEL_CC (verbatim; pointing it at a non-compiler is the
+        # supported no-toolchain simulation) or the first cc on PATH.
+        cc = os.environ.get("REPRO_KERNEL_CC", "").strip() or None
+        if cc is None:
+            cc = (shutil.which("cc") or shutil.which("gcc")
+                  or shutil.which("clang"))
+        if cc is None:
+            self.announce(
+                "no C compiler found; skipping the optional kernel library "
+                "(the pure-Python backend is byte-identical)", level=2,
+            )
+            return
+        out_dir = Path(self.build_lib) / "repro" / "pcm" / "kernels"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        target = out_dir / "_kernels.so"
+        command = [cc, "-O2", "-shared", "-fPIC",
+                   "-o", str(target), str(KERNEL_SOURCE)]
+        try:
+            proc = subprocess.run(command, capture_output=True, timeout=300)
+        except (OSError, subprocess.TimeoutExpired):
+            proc = None
+        if proc is None or proc.returncode != 0:
+            self.announce(
+                "optional kernel library build failed; the package stays "
+                "pure Python", level=2,
+            )
+            try:
+                target.unlink()
+            except OSError:
+                pass
+
+
+setup(cmdclass={"build_py": build_py_with_kernels})

@@ -81,6 +81,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution planner mode (default REPRO_PLAN or auto: the "
         "adaptive planner picks per batch)",
     )
+    exp.add_argument(
+        "--kernel-backend",
+        choices=("auto", "python", "numpy", "compiled"),
+        default=None,
+        help="bit-kernel backend (default REPRO_KERNEL_BACKEND or auto: "
+        "the planner picks the cheapest backend available on this host)",
+    )
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("stats", "clear"))
@@ -123,6 +130,13 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--length", type=int, default=2000)
     prof.add_argument("--cores", type=int, default=4)
     prof.add_argument("--seed", type=int, default=1)
+    prof.add_argument(
+        "--kernel-backend",
+        choices=("auto", "python", "numpy", "compiled"),
+        default="auto",
+        help="bit-kernel backend to profile under (auto: the planner's "
+        "pick for this host)",
+    )
 
     gen = sub.add_parser("gen-trace", help="generate and save a workload trace")
     gen.add_argument("workload", choices=WORKLOAD_ORDER)
@@ -219,7 +233,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_experiment(
     names: List[str], jobs: Optional[int] = None, resume: bool = False,
     no_pipeline: bool = False, batch_cells: Optional[int] = None,
-    plan: Optional[str] = None,
+    plan: Optional[str] = None, kernel_backend: Optional[str] = None,
 ) -> int:
     from .experiments import runner
 
@@ -228,6 +242,8 @@ def _cmd_experiment(
         argv += ["--batch-cells", str(batch_cells)]
     if plan is not None:
         argv += ["--plan", plan]
+    if kernel_backend is not None:
+        argv += ["--kernel-backend", kernel_backend]
     if resume:
         argv = ["--resume"] + argv
     if no_pipeline:
@@ -271,6 +287,9 @@ def _cmd_cache(action: str) -> int:
         ["session planner serial picks", STATS.planner_serial_picks],
         ["session planner pool picks", STATS.planner_pool_picks],
         ["session planner batch picks", STATS.planner_batch_picks],
+        ["session kernel python picks", STATS.kernel_python_picks],
+        ["session kernel numpy picks", STATS.kernel_numpy_picks],
+        ["session kernel compiled picks", STATS.kernel_compiled_picks],
     ]
     print(format_table("result cache", ["metric", "value"], rows))
     return 0
@@ -297,12 +316,24 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf_profile(args: argparse.Namespace) -> int:
+    from .pcm import kernels
     from .perf.cellspec import CellSpec, simulate_cell
     from .perf import profiler
+    from .perf.planner import PLANNER
 
     scheme = schemes.by_name(args.scheme)
     config = SystemConfig(cores=args.cores, seed=args.seed).with_scheme(scheme)
     spec = CellSpec(bench=args.workload, length=args.length, config=config)
+
+    if args.kernel_backend == "auto":
+        backend_name = PLANNER.decide_kernel(kernels.available_backends())
+    else:
+        backend_name = args.kernel_backend
+    backend = kernels.activate(backend_name)
+    flavor = getattr(backend, "flavor", None)
+    backend_label = (
+        f"{backend.name} ({flavor})" if flavor else backend.name
+    )
 
     prof = profiler.PROFILER
     prof.reset()
@@ -321,7 +352,8 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
         "write_commit", 0.0
     )
     rows = []
-    for phase in ("trace_gen", "write_plan", "write_commit", "bit_kernels"):
+    for phase in ("trace_gen", "write_plan", "write_sample", "write_din",
+                  "write_ecp", "write_commit", "bit_kernels"):
         if phase in prof.seconds:
             rows.append(
                 [phase, f"{prof.seconds[phase]:.3f}", prof.calls[phase],
@@ -334,16 +366,17 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     print(
         format_table(
             f"phase profile: {args.workload} under {args.scheme} "
-            f"(length={args.length}, cores={args.cores}; cycles={result.cycles})",
+            f"(length={args.length}, cores={args.cores}; "
+            f"cycles={result.cycles}; kernels={backend_label})",
             ["phase", "seconds", "calls", "share"],
             rows,
         )
     )
-    print("note: bit_kernels time is also inside write_plan; fine timing "
-          "adds per-call overhead, so compare shares, not absolutes.")
+    print("note: write_sample/write_din/write_ecp and bit_kernels are "
+          "inside write_plan; fine timing adds per-call overhead, so "
+          "compare shares, not absolutes.")
     from .pcm import stateplane
     from .perf.engine import STATS
-    from .perf.planner import PLANNER
 
     print(f"state plane: {stateplane.PLANE.summary()}")
     costs = PLANNER.snapshot()
@@ -355,6 +388,14 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
         f"{STATS.planner_batch_picks} batch"
         + f"; batched: {STATS.batched_cells} cells in "
         f"{STATS.batch_dispatches} dispatches"
+    )
+    kernel_costs = PLANNER.kernel_snapshot()
+    print(
+        "kernel model (s/cell): "
+        + ", ".join(
+            f"{name}={cost:.3f}" for name, cost in kernel_costs.items()
+        )
+        + f"; available: {'/'.join(kernels.available_backends())}"
     )
     return 0
 
@@ -393,7 +434,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiment":
         return _cmd_experiment(args.names, jobs=args.jobs, resume=args.resume,
                                no_pipeline=args.no_pipeline,
-                               batch_cells=args.batch_cells, plan=args.plan)
+                               batch_cells=args.batch_cells, plan=args.plan,
+                               kernel_backend=args.kernel_backend)
     if args.command == "cache":
         return _cmd_cache(args.action)
     if args.command == "faults":

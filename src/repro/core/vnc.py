@@ -42,6 +42,7 @@ from ..errors import ECPExhaustedError, SimulationError
 from ..faults.plan import FaultPlan
 from ..mem.controller import WriteOp
 from ..mem.request import PrereadSlot, Request, WriteEntry
+from ..pcm import kernels
 from ..pcm import line as L
 from ..pcm import stateplane
 from ..pcm.array import LineAddress, PCMArray
@@ -144,6 +145,10 @@ class VnCExecutor:
         self.counters = counters
         self.rng = rng
         self.encoder = DINEncoder()
+        #: The process-wide active bit-kernel backend, captured at
+        #: construction (the engine activates the planner's pick before
+        #: any executor is built; every backend is byte-identical).
+        self.kernels = kernels.active()
         self.flip_fractions = flip_fractions or []
         self.default_flip = 0.14
         #: Per-line demand-write epoch, for PreRead staleness checks.
@@ -228,9 +233,8 @@ class VnCExecutor:
         ):
             return pool[int(self.rng.integers(len(pool)))]
         fraction = self._flip_fraction(entry.request.core)
-        flips = self.rng.random(LINE_BITS) < fraction
-        mask = int.from_bytes(
-            np.packbits(flips, bitorder="little").tobytes(), "little"
+        mask = self.kernels.mask_from_draws(
+            self.rng.random(LINE_BITS), fraction
         )
         pool.append(mask)
         return mask
@@ -342,7 +346,7 @@ class VnCExecutor:
             return
         self.counters.fault_stuck_cells += profile.count
         uncovered = 0
-        for pos in L.bit_positions_int(profile.mask):
+        for pos in self.kernels.bit_positions_int(profile.mask):
             try:
                 line.add_hard_error(pos, (profile.values >> pos) & 1)
             except ECPExhaustedError:
@@ -356,17 +360,27 @@ class VnCExecutor:
         scheme = self.scheme
         addr = entry.addr
         key = _key(addr)
+        backend = self.kernels
+        fine = PROFILER.fine
 
         # ---- the data write itself ---------------------------------------
         shadow = self._shadow(plan, addr)
         physical_old = shadow.physical
-        logical_old = self.encoder.decode_int(
+        if fine:
+            t0 = _perf()
+        logical_old = backend.decode_int(
             shadow.stored, self.array.line_flags(addr)
         )
+        if fine:
+            PROFILER.add("write_din", _perf() - t0)
         new_logical = self._payload_int(entry, logical_old)
-        stored_new, flags = self.encoder.encode_stored_int(
+        if fine:
+            t0 = _perf()
+        stored_new, flags = backend.encode_stored_int(
             physical_old, new_logical
         )
+        if fine:
+            PROFILER.add("write_din", _perf() - t0)
         wplan = plan_write_int(physical_old, stored_new, self.timing)
         plan.latency += wplan.latency_cycles
         plan.demand_cell_writes = wplan.changed_bits
@@ -382,7 +396,11 @@ class VnCExecutor:
                 physical_old, wplan.reset_mask, changed
             )
             p_wl = self.disturbance.p_wordline * self.disturbance.din_residual_scale
-            wl_sampled = L.sample_mask_int(wl_vuln, p_wl, self.rng)
+            if fine:
+                t0 = _perf()
+            wl_sampled = backend.sample_mask_int(wl_vuln, p_wl, self.rng)
+            if fine:
+                PROFILER.add("write_sample", _perf() - t0)
             wl_errors = wl_sampled.bit_count()
             plan.bump("wordline_vulnerable_cells", wl_vuln.bit_count())
             plan.bump("wordline_errors", wl_errors)
@@ -469,11 +487,15 @@ class VnCExecutor:
                 )
                 drift = self.fault_plan.drift_mask(_key(vaddr), candidates)
             staged.append((vaddr, vshadow, vulnerable, weak, drift))
-        sampled_masks = L.sample_masks_int(
+        if fine:
+            t0 = _perf()
+        sampled_masks = backend.sample_masks_int(
             [weak for _, _, _, weak, _ in staged],
             self.disturbance.p_bitline_weak,
             self.rng,
         )
+        if fine:
+            PROFILER.add("write_sample", _perf() - t0)
         for (vaddr, vshadow, vulnerable, _, drift), sampled in zip(
             staged, sampled_masks
         ):
@@ -511,8 +533,12 @@ class VnCExecutor:
 
         # ---- correction / LazyCorrection ------------------------------------
         nm_tag = entry.request.nm_tag
+        if fine:
+            t0 = _perf()
         for vaddr, new_mask in detected:
             self._handle_errors(plan, vaddr, new_mask, nm_tag, depth=0)
+        if fine:
+            PROFILER.add("write_ecp", _perf() - t0)
         return plan
 
     def _handle_errors(
@@ -526,7 +552,7 @@ class VnCExecutor:
         """Absorb (LazyC) or correct the new WD errors of one victim line."""
         if not new_mask:
             return
-        new_positions = L.bit_positions_int(new_mask)
+        new_positions = self.kernels.bit_positions_int(new_mask)
         vkey = _key(vaddr)
         ecp_line = self._ecp_line(vkey)
         planned_wd = plan.ecp_records.setdefault(vkey, [])
@@ -604,7 +630,7 @@ class VnCExecutor:
             if stuck:
                 vulnerable &= stuck ^ L.MASK_ALL
             weak = vulnerable & self._weak_mask(_key(waddr))
-            sampled = L.sample_mask_int(
+            sampled = self.kernels.sample_mask_int(
                 weak, self.disturbance.p_bitline_weak, self.rng
             )
             if not sampled:
@@ -685,7 +711,7 @@ class VnCExecutor:
         if progress <= 0.0:
             return
         for vaddr, sampled in plan.injections:
-            partial = L.sample_mask_int(sampled, progress, self.rng)
+            partial = self.kernels.sample_mask_int(sampled, progress, self.rng)
             applied = self.array.disturb(vaddr, L.from_int(partial))
             if applied:
                 vkey = _key(vaddr)

@@ -23,6 +23,9 @@ Knobs parsed here:
 ``REPRO_PLAN``         execution planner mode: ``auto``/``serial``/``pool``/
                        ``batch`` (auto)
 ``REPRO_STATE_PLANE``  ``0`` disables the deterministic state plane (on)
+``REPRO_KERNEL_BACKEND`` bit-kernel backend: ``auto``/``python``/``numpy``/
+                       ``compiled`` (auto)
+``REPRO_KERNEL_CC``    C compiler for the compiled kernel backend (PATH search)
 =====================  =========================================================
 """
 
@@ -174,3 +177,43 @@ def plan_mode() -> str:
 def state_plane_enabled() -> bool:
     """Whether the deterministic state plane is on (``REPRO_STATE_PLANE``)."""
     return env_flag("REPRO_STATE_PLANE", True)
+
+
+#: Legal values for ``REPRO_KERNEL_BACKEND`` / ``--kernel-backend``:
+#: ``auto`` plus the registry names in ``repro.pcm.kernels.BACKEND_NAMES``
+#: (kept as a literal so this module stays import-light; a registry test
+#: pins the two tuples against each other).
+KERNEL_BACKENDS = ("auto", "python", "numpy", "compiled")
+
+
+def kernel_backend() -> str:
+    """Bit-kernel backend selection (``REPRO_KERNEL_BACKEND``, default ``auto``).
+
+    ``auto`` lets the adaptive planner pick per batch from the backends
+    available on this host; ``python``, ``numpy``, and ``compiled``
+    force that backend (forcing ``compiled`` on a host where it cannot
+    build is an error rather than a silent degrade).
+    """
+    raw = os.environ.get("REPRO_KERNEL_BACKEND")
+    if raw is None:
+        return "auto"
+    value = raw.strip().lower()
+    if value not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"REPRO_KERNEL_BACKEND must be one of {'/'.join(KERNEL_BACKENDS)}, "
+            f"got {raw!r}"
+        )
+    return value
+
+
+def kernel_cc() -> Optional[str]:
+    """C compiler override for the compiled backend (``REPRO_KERNEL_CC``).
+
+    Unset means "search PATH for cc/gcc/clang"; a set value is used
+    verbatim (pointing it at a non-compiler is the supported way to
+    simulate a host with no toolchain).
+    """
+    raw = os.environ.get("REPRO_KERNEL_CC")
+    if raw is None or not raw.strip():
+        return None
+    return raw.strip()

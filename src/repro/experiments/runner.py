@@ -224,6 +224,7 @@ def main(argv: list[str]) -> int:
     jobs = None
     batch_cells = None
     plan = None
+    kernel_backend = None
     resume = False
     pipeline = envconfig.pipeline_enabled()
     names: list[str] = []
@@ -234,7 +235,8 @@ def main(argv: list[str]) -> int:
             resume = True
         elif arg == "--no-pipeline":
             pipeline = False
-        elif arg in ("--json", "--jobs", "--batch-cells", "--plan"):
+        elif arg in ("--json", "--jobs", "--batch-cells", "--plan",
+                     "--kernel-backend"):
             if not argv:
                 print(f"{arg} requires a value")
                 return 2
@@ -249,6 +251,15 @@ def main(argv: list[str]) -> int:
                     )
                     return 2
                 plan = value
+            elif arg == "--kernel-backend":
+                if value not in envconfig.KERNEL_BACKENDS:
+                    print(
+                        f"--kernel-backend must be one of "
+                        f"{'/'.join(envconfig.KERNEL_BACKENDS)}, "
+                        f"got {value!r}"
+                    )
+                    return 2
+                kernel_backend = value
             else:
                 try:
                     parsed = int(value)
@@ -271,7 +282,8 @@ def main(argv: list[str]) -> int:
         return 2
     # One persistent runner for the whole sweep: the in-flight prefetch
     # table and the warm pool live on it across experiments.
-    runner = engine.configure(jobs=jobs, plan=plan, batch_cells=batch_cells)
+    runner = engine.configure(jobs=jobs, plan=plan, batch_cells=batch_cells,
+                              kernel_backend=kernel_backend)
     manifest = load_manifest() if resume else {}
     if not resume:
         # A fresh sweep starts a fresh checkpoint ledger.

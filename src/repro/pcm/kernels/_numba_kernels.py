@@ -1,0 +1,102 @@
+"""Numba flavour of the compiled kernels (optional).
+
+Imported only when the C shared library cannot be built or loaded and
+``numba`` is installed; the ``@njit`` loops below mirror ``_kernels.c``
+statement-for-statement so the byte-identity contract is shared.  On
+hosts without numba this module raises ``ImportError`` at import time
+and the compiled backend reports :class:`BackendUnavailable`.
+"""
+
+from __future__ import annotations
+
+from numba import njit  # noqa: F401 - gates the whole module
+
+
+@njit(cache=True)
+def apply_keep_rows(cand, n_rows, row_bytes, keep, out):
+    i = 0
+    total = n_rows * row_bytes
+    for b in range(total):
+        c = cand[b]
+        o = 0
+        bit = 1
+        while c:
+            if c & 1:
+                if keep[i]:
+                    o |= bit
+                i += 1
+            c >>= 1
+            bit <<= 1
+        out[b] = o
+    return i
+
+
+@njit(cache=True)
+def din_encode(oldb, rawb, stored_tab, invert_tab, n_rows, row_bytes,
+               stored_out, flags_out):
+    for r in range(n_rows):
+        ro = r * row_bytes
+        fo = r * (row_bytes // 8)
+        for i in range(row_bytes):
+            idx = (oldb[ro + i] << 8) | rawb[ro + i]
+            stored_out[ro + i] = stored_tab[idx]
+            flags_out[fo + (i >> 3)] |= invert_tab[idx] << (i & 7)
+
+
+@njit(cache=True)
+def din_decode(stored, flags, n_rows, row_bytes, out):
+    for r in range(n_rows):
+        ro = r * row_bytes
+        fo = r * (row_bytes // 8)
+        for i in range(row_bytes):
+            if (flags[fo + (i >> 3)] >> (i & 7)) & 1:
+                out[ro + i] = stored[ro + i] ^ 0xFF
+            else:
+                out[ro + i] = stored[ro + i]
+
+
+@njit(cache=True)
+def pack_bits(bits, n, out):
+    for b in range((n + 7) // 8):
+        out[b] = 0
+    for i in range(n):
+        if bits[i]:
+            out[i >> 3] |= 1 << (i & 7)
+
+
+@njit(cache=True)
+def pack_less_than(draws, n, p, out):
+    for b in range((n + 7) // 8):
+        out[b] = 0
+    for i in range(n):
+        if draws[i] < p:
+            out[i >> 3] |= 1 << (i & 7)
+
+
+@njit(cache=True)
+def bit_positions(buf, nbytes, out):
+    k = 0
+    for b in range(nbytes):
+        c = buf[b]
+        base = b * 8
+        bit = 0
+        while c:
+            if c & 1:
+                out[k] = base + bit
+                k += 1
+            c >>= 1
+            bit += 1
+    return k
+
+
+@njit(cache=True)
+def popcount_rows(rows, n_rows, row_bytes, out):
+    for r in range(n_rows):
+        ro = r * row_bytes
+        n = 0
+        for b in range(row_bytes):
+            c = rows[ro + b]
+            while c:
+                c &= c - 1
+                n += 1
+        out[r] = n

@@ -1,0 +1,74 @@
+"""Pure-Python reference backend.
+
+Thin delegation onto the existing int-domain kernels in
+:mod:`repro.pcm.line` and :mod:`repro.pcm.din` — this backend *is* the
+behavioural reference the other backends are pinned against, and the
+guaranteed-available fallback on hosts with no C compiler and no numba.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .. import din as D
+from .. import line as L
+from .base import KernelBackend
+
+
+class PythonBackend(KernelBackend):
+    """Reference backend: CPython big-int bit ops + numpy LUT gathers."""
+
+    name = "python"
+
+    def __init__(self) -> None:
+        self._encoder = D.DINEncoder()
+
+    # -- disturbance sampling ----------------------------------------------------
+
+    def sample_mask_int(
+        self, candidates: int, probability: float, rng: np.random.Generator
+    ) -> int:
+        return L.sample_mask_int(candidates, probability, rng)
+
+    def sample_masks_int(
+        self, candidates: List[int], probability: float, rng: np.random.Generator
+    ) -> List[int]:
+        return L.sample_masks_int(candidates, probability, rng)
+
+    def sample_masks_rows(
+        self, rows: np.ndarray, probability: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        return L.sample_masks_rows(rows, probability, rng)
+
+    # -- counting / positions ----------------------------------------------------
+
+    def popcount_rows(self, rows: np.ndarray) -> np.ndarray:
+        return L.popcount_rows(rows)
+
+    def bit_positions_int(self, value: int) -> List[int]:
+        return L.bit_positions_int(value)
+
+    # -- DIN inversion coding ----------------------------------------------------
+
+    def encode_stored_int(self, physical: int, data: int) -> Tuple[int, int]:
+        return self._encoder.encode_stored_int(physical, data)
+
+    def decode_int(self, stored: int, flags: int) -> int:
+        return self._encoder.decode_int(stored, flags)
+
+    def encode_stored_rows(
+        self, physical: np.ndarray, data: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self._encoder.encode_stored_rows(physical, data)
+
+    def decode_rows(self, stored: np.ndarray, flags: np.ndarray) -> np.ndarray:
+        return self._encoder.decode_rows(stored, flags)
+
+    # -- mask packing ------------------------------------------------------------
+
+    def pack_mask(self, bits: np.ndarray) -> int:
+        return int.from_bytes(
+            np.packbits(bits, bitorder="little").tobytes(), "little"
+        )

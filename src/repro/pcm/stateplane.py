@@ -40,6 +40,7 @@ import numpy as np
 
 from .. import envconfig
 from ..config import LINES_PER_PAGE, LINE_BITS, LINE_WORDS
+from . import kernels
 from . import line as L
 
 #: FIFO caps (entries).  A full sweep's working set fits well under both.
@@ -63,10 +64,7 @@ def _generate_weak_mask(fraction: float, key: Tuple[int, int, int]) -> int:
     if fraction >= 1.0:
         return L.MASK_ALL
     rng = np.random.default_rng((0x5D9C, *key))
-    bits = (rng.random(LINE_BITS) < fraction).astype(np.uint8)
-    return int.from_bytes(
-        np.packbits(bits, bitorder="little").tobytes(), "little"
-    )
+    return kernels.active().mask_from_draws(rng.random(LINE_BITS), fraction)
 
 
 class StatePlane:

@@ -85,7 +85,8 @@ def plan_batches(
 
 
 def simulate_chunk(
-    specs: List[CellSpec], handles: Optional[list] = None
+    specs: List[CellSpec], handles: Optional[list] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[List[SimulationResult], Snapshot]:
     """Pool-worker entry: advance one whole chunk in a single dispatch.
 
@@ -94,9 +95,18 @@ def simulate_chunk(
     the chunk's phase timings come back as one merged snapshot.  Workers
     are reused across chunks, so the per-process profiler is reset first
     — exactly the contract of the per-cell ``_simulate_with_phases``.
+
+    ``kernel`` carries the parent planner's bit-kernel backend pick into
+    the worker process explicitly (warm workers outlive batches, so the
+    choice cannot ride on inherited module state); a backend the worker
+    cannot construct degrades to pure Python, which is byte-identical.
     """
     if handles:
         shm.ensure_attached_all(handles)
+    if kernel is not None:
+        from ..pcm import kernels
+
+        kernels.activate_preferred(kernel)
     PROFILER.reset()
     results = [simulate_cell(spec) for spec in specs]
     return results, PROFILER.snapshot()

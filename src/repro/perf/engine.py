@@ -70,6 +70,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .. import envconfig
 from ..core.results import SimulationResult
 from ..errors import CellTimeoutError, WorkerCrashError
+from ..pcm import kernels
 from ..pcm import stateplane
 from ..traces import shm
 from . import batch as batchexec
@@ -149,6 +150,10 @@ class EngineStats:
     planner_serial_picks: int = 0
     planner_pool_picks: int = 0
     planner_batch_picks: int = 0
+    #: Kernel-backend decisions, by chosen backend (``auto`` backend only).
+    kernel_python_picks: int = 0
+    kernel_numpy_picks: int = 0
+    kernel_compiled_picks: int = 0
 
     def reset(self) -> None:
         self.cache_hits = 0
@@ -168,6 +173,9 @@ class EngineStats:
         self.planner_serial_picks = 0
         self.planner_pool_picks = 0
         self.planner_batch_picks = 0
+        self.kernel_python_picks = 0
+        self.kernel_numpy_picks = 0
+        self.kernel_compiled_picks = 0
 
     def cache_hit_rate(self) -> Optional[float]:
         """Cache hits as a fraction of resolved cells (None before any)."""
@@ -223,6 +231,17 @@ class EngineStats:
                 f"{self.planner_pool_picks} pool / "
                 f"{self.planner_batch_picks} batch picks"
             )
+        kernel_picks = (
+            self.kernel_python_picks
+            + self.kernel_numpy_picks
+            + self.kernel_compiled_picks
+        )
+        if kernel_picks:
+            base += (
+                f"; kernels: {self.kernel_python_picks} python / "
+                f"{self.kernel_numpy_picks} numpy / "
+                f"{self.kernel_compiled_picks} compiled picks"
+            )
         if self.batched_cells:
             base += (
                 f"; batch: {self.batched_cells} cells in "
@@ -248,7 +267,8 @@ class CellRunner:
                  cell_timeout: Optional[float] = None,
                  backoff: Optional[float] = None,
                  plan: Optional[str] = None,
-                 batch_cells: Optional[int] = None):
+                 batch_cells: Optional[int] = None,
+                 kernel_backend: Optional[str] = None):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -272,6 +292,16 @@ class CellRunner:
         if self.batch_cells < 1:
             raise ValueError(
                 f"batch_cells must be >= 1, got {self.batch_cells}"
+            )
+        self.kernel_backend = (
+            kernel_backend if kernel_backend is not None
+            else envconfig.kernel_backend()
+        )
+        if self.kernel_backend not in envconfig.KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of "
+                f"{'/'.join(envconfig.KERNEL_BACKENDS)}, "
+                f"got {self.kernel_backend!r}"
             )
         #: Prefetched cells still cooking in the warm pool, by cache key.
         self._inflight: Dict[str, Future] = {}
@@ -334,6 +364,7 @@ class CellRunner:
         """
         if self.jobs <= 1:
             return 0
+        kernel = self._resolve_kernel()
         submitted = 0
         seen: set = set()
         pool = None
@@ -355,7 +386,9 @@ class CellRunner:
             # cancel_prefetch to find).
             with defer_sigint():
                 try:
-                    future = pool.submit(_simulate_with_phases, spec, handle)
+                    future = pool.submit(
+                        _simulate_with_phases, spec, handle, kernel
+                    )
                 except (BrokenProcessPool, RuntimeError):
                     # The pool died mid-prefetch; unsubmitted cells simply
                     # run through the normal ladder when their batch comes.
@@ -402,24 +435,52 @@ class CellRunner:
         if not specs:
             return []
         mode = self._pick_mode(len(specs))
+        # One kernel backend per cold batch: activated here for the
+        # in-process paths and shipped by name to every pool worker.
+        kernel = self._resolve_kernel()
+        kernels.activate(kernel)
         pool_alive = WARM_POOL.alive
         start = time.monotonic()
         if mode == "serial":
             # In-process, chunk-grouped for state-plane and trace-memo
             # locality: simulate_cell feeds PROFILER directly.
             out = batchexec.simulate_batch(specs, notify, self.batch_cells)
-            PLANNER.observe("serial", len(specs), time.monotonic() - start)
-            return out
-        if mode == "batch":
-            out = self._simulate_batched(specs, notify)
-            PLANNER.observe("batch", len(specs), time.monotonic() - start)
-            return out
-        out = self._simulate_pooled(specs, notify)
-        PLANNER.observe(
-            "pool_warm" if pool_alive else "pool_cold",
-            len(specs), time.monotonic() - start,
-        )
+            wall = time.monotonic() - start
+            PLANNER.observe("serial", len(specs), wall)
+        elif mode == "batch":
+            out = self._simulate_batched(specs, notify, kernel)
+            wall = time.monotonic() - start
+            PLANNER.observe("batch", len(specs), wall)
+        else:
+            out = self._simulate_pooled(specs, notify, kernel)
+            wall = time.monotonic() - start
+            PLANNER.observe(
+                "pool_warm" if pool_alive else "pool_cold", len(specs), wall
+            )
+        PLANNER.observe_kernel(kernel, len(specs), wall)
         return out
+
+    def _resolve_kernel(self) -> str:
+        """The bit-kernel backend for the next cold batch.
+
+        A forced backend (``REPRO_KERNEL_BACKEND`` / ``kernel_backend=``)
+        is honoured outright — forcing one that cannot be constructed on
+        this host raises :class:`~repro.pcm.kernels.BackendUnavailable`
+        rather than silently degrading.  ``auto`` asks the planner for
+        the cheapest of the backends constructible here (pure Python when
+        nothing else builds) and records the pick.
+        """
+        if self.kernel_backend != "auto":
+            kernels.get_backend(self.kernel_backend)  # raise if unavailable
+            return self.kernel_backend
+        name = PLANNER.decide_kernel(kernels.available_backends())
+        if name == "python":
+            STATS.kernel_python_picks += 1
+        elif name == "numpy":
+            STATS.kernel_numpy_picks += 1
+        else:
+            STATS.kernel_compiled_picks += 1
+        return name
 
     def _pick_mode(self, cells: int) -> str:
         """Resolve the execution mode for one cold batch.
@@ -447,7 +508,7 @@ class CellRunner:
         return mode
 
     def _simulate_batched(
-        self, specs: List[CellSpec], notify: _OnResult
+        self, specs: List[CellSpec], notify: _OnResult, kernel: str
     ) -> List[SimulationResult]:
         """Batched pool execution: one future advances a whole chunk.
 
@@ -478,7 +539,8 @@ class CellRunner:
                     chunk_specs = [specs[index] for index in chunk]
                     with defer_sigint():
                         futures[position] = pool.submit(
-                            batchexec.simulate_chunk, chunk_specs, handles
+                            batchexec.simulate_chunk, chunk_specs, handles,
+                            kernel,
                         )
                     submitted[position] = chunk
                     STATS.batch_dispatches += 1
@@ -524,7 +586,9 @@ class CellRunner:
                 notify(pending[position], result)
 
             if len(sub_specs) > 1:
-                sub_results = self._simulate_pooled(sub_specs, sub_notify)
+                sub_results = self._simulate_pooled(
+                    sub_specs, sub_notify, kernel
+                )
             else:
                 sub_results = [simulate_cell(sub_specs[0])]
                 sub_notify(0, sub_results[0])
@@ -533,7 +597,7 @@ class CellRunner:
         return results  # type: ignore[return-value]  # every slot is filled
 
     def _simulate_pooled(
-        self, specs: List[CellSpec], notify: _OnResult
+        self, specs: List[CellSpec], notify: _OnResult, kernel: str
     ) -> List[SimulationResult]:
         """The failure-handling ladder: pool -> retries -> serial fallback.
 
@@ -556,7 +620,7 @@ class CellRunner:
                     "retrying %d failed cell(s), round %d/%d",
                     len(pending), attempt, self.retries,
                 )
-            pending = self._pool_round(specs, pending, results, notify)
+            pending = self._pool_round(specs, pending, results, notify, kernel)
         if pending:
             STATS.serial_fallback_cells += len(pending)
             _LOG.warning(
@@ -574,6 +638,7 @@ class CellRunner:
         indices: List[int],
         results: List[Optional[SimulationResult]],
         notify: _OnResult,
+        kernel: str,
     ) -> List[int]:
         """Run one warm-pool attempt over ``indices``; returns the failures.
 
@@ -592,7 +657,7 @@ class CellRunner:
                 # end of each iteration and unwind through run_cells.
                 with defer_sigint():
                     futures[index] = pool.submit(
-                        _simulate_with_phases, specs[index], handle
+                        _simulate_with_phases, specs[index], handle, kernel
                     )
         except (BrokenProcessPool, RuntimeError):
             for future in futures.values():
@@ -708,7 +773,7 @@ def _publish_trace(spec: CellSpec):
     )
 
 
-def _simulate_with_phases(spec: CellSpec, handle=None) -> tuple:
+def _simulate_with_phases(spec: CellSpec, handle=None, kernel=None) -> tuple:
     """Pool worker: simulate one cell, shipping its phase timings back.
 
     ``handle`` points at the parent-published shared-memory trace; the
@@ -716,9 +781,14 @@ def _simulate_with_phases(spec: CellSpec, handle=None) -> tuple:
     simulating, so it never re-synthesizes a trace the parent already
     built.  Workers are reused across cells, so the per-process profiler
     is reset before each cell and its delta returned with the result.
+    ``kernel`` names the parent's bit-kernel backend pick; a worker that
+    cannot construct it degrades to the byte-identical pure-Python
+    reference.
     """
     if handle is not None:
         shm.ensure_attached(handle)
+    if kernel is not None:
+        kernels.activate_preferred(kernel)
     PROFILER.reset()
     result = simulate_cell(spec)
     snapshot: Snapshot = PROFILER.snapshot()
@@ -733,11 +803,13 @@ _configured: Optional[CellRunner] = None
 def configure(jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               plan: Optional[str] = None,
-              batch_cells: Optional[int] = None) -> CellRunner:
+              batch_cells: Optional[int] = None,
+              kernel_backend: Optional[str] = None) -> CellRunner:
     """Install the session's runner (the CLI's ``--jobs``/``--batch-cells``)."""
     global _configured
     _configured = CellRunner(
-        jobs=jobs, cache=cache, plan=plan, batch_cells=batch_cells
+        jobs=jobs, cache=cache, plan=plan, batch_cells=batch_cells,
+        kernel_backend=kernel_backend,
     )
     return _configured
 
@@ -768,6 +840,7 @@ def reset() -> None:
     STATS.reset()
     PROFILER.reset()
     PLANNER.reset()
+    kernels.reset()
     stateplane.PLANE.reset()
     WARM_POOL.shutdown()
     WARM_POOL.reset_counters()

@@ -32,6 +32,16 @@ than workers would *reduce* parallelism versus per-cell dispatch.
 The planner only advises ``auto`` mode; ``REPRO_PLAN=serial/pool/batch``
 (or ``CellRunner(plan=...)``) bypasses it entirely, which is what the
 pool-machinery and chaos tests use to stay deterministic.
+
+The same machinery picks the **bit-kernel backend** per cold batch: a
+per-backend cost model seeded from the committed ``BENCH_kernels.json``
+(schema v2) and refined by online EWMA observations; every backend is
+byte-identical, so the choice is pure performance.  Committed baselines
+are trusted only when their recorded :func:`host_fingerprint` matches
+this machine's — calibration from a different CPU count or architecture
+is silently ignored.  ``REPRO_KERNEL_BACKEND=python/numpy/compiled``
+bypasses the kernel decision the same way ``REPRO_PLAN`` bypasses the
+mode decision.
 """
 
 from __future__ import annotations
@@ -40,8 +50,10 @@ import json
 import logging
 import math
 import os
+import platform
+import sys
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 _LOG = logging.getLogger("repro.perf.planner")
 
@@ -62,11 +74,63 @@ DEFAULT_COSTS = {
 #: pool benchmark).  Missing or malformed files are simply ignored.
 CALIBRATION_FILE = "BENCH_pool.json"
 
+#: Conservative per-cell seconds per kernel backend, used before any
+#: calibration or observation exists.  Ordered so ``auto`` prefers the
+#: compiled backend when it is available — the committed
+#: BENCH_kernels.json numbers show the compiled scatter/LUT loops
+#: beating the big-int reference on every measured host — with numpy
+#: between the two.
+KERNEL_DEFAULT_COSTS = {
+    "python": 0.090,
+    "numpy": 0.088,
+    "compiled": 0.078,
+}
 
-def _repo_root() -> Optional[Path]:
+#: The committed kernel calibration baseline (repo root, schema v2:
+#: carries per-backend cold-cell timings and the measuring host's
+#: fingerprint).
+KERNEL_CALIBRATION_FILE = "BENCH_kernels.json"
+
+
+def host_fingerprint() -> Dict[str, object]:
+    """The calibration-relevance fingerprint of this host.
+
+    Committed baselines carry the fingerprint of the machine that
+    measured them; a planner on a materially different host ignores
+    them and falls back to the defaults plus online EWMA.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+    }
+
+
+def fingerprint_matches(recorded: object) -> bool:
+    """Whether a baseline's recorded host is materially this host.
+
+    Material fields are the CPU count and the architecture — per-cell
+    seconds transfer poorly across either.  The Python version is
+    recorded for observability but not gated on (same-arch interpreter
+    bumps shift absolute costs far less than the EWMA's first few
+    observations do).  Baselines without a fingerprint (pre-v2 files)
+    are accepted for backward compatibility.
+    """
+    if recorded is None:
+        return True
+    if not isinstance(recorded, dict):
+        return False
+    current = host_fingerprint()
+    return all(
+        recorded.get(field) == current[field]
+        for field in ("cpu_count", "machine")
+    )
+
+
+def _repo_root(filename: str = CALIBRATION_FILE) -> Optional[Path]:
     """The repository root, when running from a source checkout."""
     root = Path(__file__).resolve().parents[3]
-    return root if (root / CALIBRATION_FILE).exists() else None
+    return root if (root / filename).exists() else None
 
 
 class AdaptivePlanner:
@@ -76,6 +140,9 @@ class AdaptivePlanner:
         self._costs: Dict[str, float] = dict(DEFAULT_COSTS)
         self._observed: Dict[str, int] = {}
         self._seeded = False
+        self._kernel_costs: Dict[str, float] = dict(KERNEL_DEFAULT_COSTS)
+        self._kernel_observed: Dict[str, int] = {}
+        self._kernel_seeded = False
 
     # -- calibration -------------------------------------------------------
 
@@ -96,6 +163,11 @@ class AdaptivePlanner:
             payload = json.loads(Path(path).read_text())
         except (OSError, ValueError):
             _LOG.debug("no usable calibration at %s", path, exc_info=True)
+            return False
+        if not fingerprint_matches(payload.get("host")):
+            _LOG.debug(
+                "ignoring calibration at %s: host fingerprint differs", path
+            )
             return False
         cells = payload.get("cells_per_batch")
         if not isinstance(cells, int) or cells < 1:
@@ -118,6 +190,50 @@ class AdaptivePlanner:
             self._seeded = True
             self.seed_from_file()
 
+    def seed_kernels_from_file(self, path: Optional[Path] = None) -> bool:
+        """Seed per-backend kernel costs from BENCH_kernels.json (v2).
+
+        The v2 schema carries a ``backends`` table of per-backend
+        cold-cell seconds plus the measuring host's fingerprint;
+        baselines from a materially different host are ignored (the
+        defaults plus online EWMA take over).  Returns whether anything
+        was loaded.
+        """
+        if path is None:
+            root = _repo_root(KERNEL_CALIBRATION_FILE)
+            if root is None:
+                return False
+            path = root / KERNEL_CALIBRATION_FILE
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            _LOG.debug("no usable kernel calibration at %s", path,
+                       exc_info=True)
+            return False
+        if not fingerprint_matches(payload.get("host")):
+            _LOG.debug(
+                "ignoring kernel calibration at %s: host fingerprint "
+                "differs", path,
+            )
+            return False
+        backends = payload.get("backends")
+        if not isinstance(backends, dict):
+            return False
+        loaded = False
+        for name, entry in backends.items():
+            if name not in self._kernel_costs or not isinstance(entry, dict):
+                continue
+            value = entry.get("cold_cell_s")
+            if isinstance(value, (int, float)) and value > 0:
+                self._kernel_costs[name] = float(value)
+                loaded = True
+        return loaded
+
+    def _ensure_kernel_seeded(self) -> None:
+        if not self._kernel_seeded:
+            self._kernel_seeded = True
+            self.seed_kernels_from_file()
+
     # -- the cost model ----------------------------------------------------
 
     def cost(self, mode: str) -> float:
@@ -136,6 +252,25 @@ class AdaptivePlanner:
             EWMA_ALPHA * per_cell + (1.0 - EWMA_ALPHA) * previous
         )
         self._observed[mode] = self._observed.get(mode, 0) + 1
+
+    def kernel_cost(self, backend: str) -> float:
+        """Current per-cell seconds estimate for a kernel backend."""
+        self._ensure_kernel_seeded()
+        return self._kernel_costs[backend]
+
+    def observe_kernel(self, backend: str, cells: int, seconds: float) -> None:
+        """Fold one batch run under ``backend`` into its cost (EWMA)."""
+        if cells < 1 or seconds < 0 or backend not in self._kernel_costs:
+            return
+        self._ensure_kernel_seeded()
+        per_cell = seconds / cells
+        previous = self._kernel_costs[backend]
+        self._kernel_costs[backend] = (
+            EWMA_ALPHA * per_cell + (1.0 - EWMA_ALPHA) * previous
+        )
+        self._kernel_observed[backend] = (
+            self._kernel_observed.get(backend, 0) + 1
+        )
 
     # -- decisions ---------------------------------------------------------
 
@@ -167,6 +302,19 @@ class AdaptivePlanner:
         )
         return best[0]
 
+    def decide_kernel(self, available: Sequence[str]) -> str:
+        """Pick the cheapest kernel backend among ``available``.
+
+        ``available`` is the registry's constructible-backends tuple for
+        this host, so a machine with no compiler and no numba degrades
+        to the pure-Python reference without any special casing here.
+        """
+        self._ensure_kernel_seeded()
+        candidates = [name for name in available if name in self._kernel_costs]
+        if not candidates:
+            return "python"
+        return min(candidates, key=lambda name: self._kernel_costs[name])
+
     # -- bookkeeping -------------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:
@@ -174,11 +322,19 @@ class AdaptivePlanner:
         self._ensure_seeded()
         return dict(self._costs)
 
+    def kernel_snapshot(self) -> Dict[str, float]:
+        """The current per-backend kernel cost model."""
+        self._ensure_kernel_seeded()
+        return dict(self._kernel_costs)
+
     def reset(self) -> None:
         """Back to defaults; calibration re-seeds lazily (test isolation)."""
         self._costs = dict(DEFAULT_COSTS)
         self._observed.clear()
         self._seeded = False
+        self._kernel_costs = dict(KERNEL_DEFAULT_COSTS)
+        self._kernel_observed.clear()
+        self._kernel_seeded = False
 
 
 #: The process-wide planner the engine consults in ``auto`` mode.

@@ -80,24 +80,34 @@ class PhaseProfiler:
 #: Process-wide profiler; workers snapshot it, the parent merges.
 PROFILER = PhaseProfiler()
 
-#: Kernel functions wrapped by :func:`install_kernel_timers`.
-_KERNEL_NAMES = ("sample_mask", "sample_mask_int", "sample_masks",
-                 "sample_masks_int", "popcount_rows")
+#: Backend methods wrapped by :func:`install_kernel_timers`.
+_KERNEL_NAMES = ("sample_mask_int", "sample_masks_int", "sample_masks_rows",
+                 "popcount_rows", "bit_positions_int", "encode_stored_int",
+                 "decode_int", "encode_stored_rows", "decode_rows",
+                 "mask_from_draws")
+
+#: The backend instance currently carrying timer wrappers (None = none).
+_timed_backend = None
 
 
 def install_kernel_timers() -> None:
-    """Wrap the :mod:`repro.pcm.line` sampling kernels with timers.
+    """Wrap the active kernel backend's hot methods with timers.
 
-    Idempotent; only meaningful together with fine profiling.  Callers in
-    the hot path look the kernels up as module attributes, so rebinding
-    them here takes effect everywhere.
+    Idempotent; only meaningful together with fine profiling.  The hot
+    path dispatches through the registry's active backend instance
+    (``VnCExecutor.kernels``), so shadowing the bound methods in the
+    instance dict times every call regardless of which backend the
+    planner picked.
     """
-    from ..pcm import line as L
+    global _timed_backend
+    from ..pcm import kernels
 
-    if getattr(L, "_kernel_timers_installed", False):
+    backend = kernels.active()
+    if _timed_backend is backend:
         return
+    uninstall_kernel_timers()
     for name in _KERNEL_NAMES:
-        original = getattr(L, name)
+        original = getattr(backend, name)
 
         def timed(*args, _original=original, **kwargs):
             t0 = _PERF()
@@ -106,20 +116,17 @@ def install_kernel_timers() -> None:
             finally:
                 PROFILER.add("bit_kernels", _PERF() - t0)
 
-        timed._profiler_original = original  # type: ignore[attr-defined]
-        setattr(L, name, timed)
-    L._kernel_timers_installed = True  # type: ignore[attr-defined]
+        setattr(backend, name, timed)
+    _timed_backend = backend
 
 
 def uninstall_kernel_timers() -> None:
-    """Restore the unwrapped kernels (inverse of the install)."""
-    from ..pcm import line as L
-
-    if not getattr(L, "_kernel_timers_installed", False):
+    """Restore the unwrapped backend methods (inverse of the install)."""
+    global _timed_backend
+    if _timed_backend is None:
         return
     for name in _KERNEL_NAMES:
-        wrapped = getattr(L, name)
-        original = getattr(wrapped, "_profiler_original", None)
-        if original is not None:
-            setattr(L, name, original)
-    L._kernel_timers_installed = False  # type: ignore[attr-defined]
+        # The wrappers shadow the class methods from the instance dict;
+        # dropping them restores normal class lookup.
+        _timed_backend.__dict__.pop(name, None)
+    _timed_backend = None

@@ -29,7 +29,14 @@ from repro.perf import batch as batchexec
 from repro.perf import engine
 from repro.perf.cache import ResultCache
 from repro.perf.engine import STATS, CellRunner
-from repro.perf.planner import DEFAULT_COSTS, EWMA_ALPHA, AdaptivePlanner
+from repro.perf.planner import (
+    DEFAULT_COSTS,
+    EWMA_ALPHA,
+    KERNEL_DEFAULT_COSTS,
+    AdaptivePlanner,
+    fingerprint_matches,
+    host_fingerprint,
+)
 
 SMALL = dict(length=60, cores=2)
 MAIN_PID = os.getpid()
@@ -196,6 +203,122 @@ class TestPlanner:
         planner._seeded = True
         assert planner.snapshot() == DEFAULT_COSTS
 
+    def test_seed_ignores_foreign_host(self, tmp_path):
+        """Calibration from a materially different machine is skipped."""
+        path = tmp_path / "BENCH_pool.json"
+        path.write_text(json.dumps({
+            "host": {"cpu_count": 4096, "machine": "vax"},
+            "cells_per_batch": 4,
+            "serial_batch_s": 2.0,
+        }))
+        planner = self._planner()
+        assert planner.seed_from_file(path) is False
+        assert planner.snapshot() == DEFAULT_COSTS
+        # The same payload stamped with this host's fingerprint loads.
+        path.write_text(json.dumps({
+            "host": host_fingerprint(),
+            "cells_per_batch": 4,
+            "serial_batch_s": 2.0,
+        }))
+        assert planner.seed_from_file(path) is True
+        assert planner.cost("serial") == pytest.approx(0.5)
+
+
+class TestKernelPlanner:
+    """The per-backend bit-kernel cost model and its host gating."""
+
+    def _planner(self) -> AdaptivePlanner:
+        planner = AdaptivePlanner()
+        planner._seeded = True
+        planner._kernel_seeded = True  # isolate from committed calibration
+        return planner
+
+    def test_fingerprint_matching_rules(self):
+        current = host_fingerprint()
+        assert set(current) == {"cpu_count", "machine", "python"}
+        assert fingerprint_matches(current) is True
+        assert fingerprint_matches(None) is True  # pre-v2 baselines
+        assert fingerprint_matches("x86_64") is False  # malformed
+        foreign = dict(current, cpu_count=current["cpu_count"] + 64)
+        assert fingerprint_matches(foreign) is False
+        # The Python version is recorded but not gated on.
+        relaxed = dict(current, python="2.7")
+        assert fingerprint_matches(relaxed) is True
+
+    def test_decide_kernel_picks_cheapest_available(self):
+        planner = self._planner()
+        assert planner.decide_kernel(("python", "numpy", "compiled")) == (
+            "compiled"
+        )
+        assert planner.decide_kernel(("python", "numpy")) == "numpy"
+        assert planner.decide_kernel(("python",)) == "python"
+        # Nothing available (or only unknown names): pure Python.
+        assert planner.decide_kernel(()) == "python"
+        assert planner.decide_kernel(("fortran",)) == "python"
+
+    def test_observe_kernel_is_an_ewma(self):
+        planner = self._planner()
+        before = planner.kernel_cost("compiled")
+        planner.observe_kernel("compiled", cells=2, seconds=2.0)  # 1.0 s/cell
+        expected = EWMA_ALPHA * 1.0 + (1 - EWMA_ALPHA) * before
+        assert planner.kernel_cost("compiled") == pytest.approx(expected)
+        planner.observe_kernel("compiled", cells=0, seconds=1.0)  # ignored
+        planner.observe_kernel("fortran", cells=1, seconds=1.0)  # ignored
+        assert planner.kernel_cost("compiled") == pytest.approx(expected)
+        # Enough slow observations flip the decision to the next backend.
+        for _ in range(12):
+            planner.observe_kernel("compiled", cells=1, seconds=9.0)
+        assert planner.decide_kernel(("python", "numpy", "compiled")) == (
+            "numpy"
+        )
+
+    def test_seed_kernels_from_file(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps({
+            "schema_version": 2,
+            "host": host_fingerprint(),
+            "backends": {
+                "python": {"cold_cell_s": 0.5},
+                "numpy": {"cold_cell_s": 0.4},
+                "compiled": {"cold_cell_s": 0.1},
+                "fortran": {"cold_cell_s": 0.01},  # unknown: ignored
+            },
+        }))
+        planner = self._planner()
+        assert planner.seed_kernels_from_file(path) is True
+        assert planner.kernel_snapshot() == {
+            "python": 0.5, "numpy": 0.4, "compiled": 0.1,
+        }
+
+    def test_seed_kernels_ignores_foreign_host(self, tmp_path):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps({
+            "schema_version": 2,
+            "host": {"cpu_count": 4096, "machine": "vax"},
+            "backends": {"compiled": {"cold_cell_s": 0.001}},
+        }))
+        planner = self._planner()
+        assert planner.seed_kernels_from_file(path) is False
+        assert planner.kernel_snapshot() == KERNEL_DEFAULT_COSTS
+
+    def test_seed_kernels_ignores_malformed_files(self, tmp_path):
+        planner = self._planner()
+        assert planner.seed_kernels_from_file(tmp_path / "nope.json") is False
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert planner.seed_kernels_from_file(bad) is False
+        flat = tmp_path / "flat.json"
+        flat.write_text(json.dumps({"backends": "compiled"}))
+        assert planner.seed_kernels_from_file(flat) is False
+        assert planner.kernel_snapshot() == KERNEL_DEFAULT_COSTS
+
+    def test_reset_restores_kernel_defaults(self):
+        planner = self._planner()
+        planner.observe_kernel("python", cells=1, seconds=9.0)
+        planner.reset()
+        planner._kernel_seeded = True
+        assert planner.kernel_snapshot() == KERNEL_DEFAULT_COSTS
+
 
 class TestBatchedEngine:
     def test_batched_results_match_serial_and_count(self, tmp_path):
@@ -272,6 +395,21 @@ class TestBatchedEngine:
         assert STATS.planner_pool_picks == 0
         assert STATS.planner_batch_picks == 0
         assert "planner: 1 serial / 0 pool / 0 batch picks" in STATS.summary()
+
+    def test_auto_counts_kernel_picks(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        runner = CellRunner(
+            jobs=1, kernel_backend="auto",
+            cache=ResultCache(tmp_path / "k", enabled=True),
+        )
+        runner.run_cells([small_cell("stream")])
+        picks = (
+            STATS.kernel_python_picks
+            + STATS.kernel_numpy_picks
+            + STATS.kernel_compiled_picks
+        )
+        assert picks == 1
+        assert "kernels:" in STATS.summary()
 
     def test_invalid_plan_and_batch_cells_rejected(self):
         with pytest.raises(ValueError, match="plan must be one of"):

@@ -19,6 +19,7 @@ def _clean_env(monkeypatch):
         "REPRO_RETRY_BACKOFF", "REPRO_TRACE_LEN", "REPRO_CORES",
         "REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_PROFILE", "REPRO_PIPELINE",
         "REPRO_BATCH_CELLS", "REPRO_PLAN", "REPRO_STATE_PLANE",
+        "REPRO_KERNEL_BACKEND", "REPRO_KERNEL_CC",
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -140,6 +141,28 @@ class TestAccessors:
         ):
             envconfig.plan_mode()
 
+    def test_kernel_backend(self, monkeypatch):
+        assert envconfig.kernel_backend() == "auto"
+        for name in envconfig.KERNEL_BACKENDS:
+            monkeypatch.setenv("REPRO_KERNEL_BACKEND", name)
+            assert envconfig.kernel_backend() == name
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", " Compiled ")
+        assert envconfig.kernel_backend() == "compiled"  # trimmed, folded
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "fortran")
+        with pytest.raises(
+            ValueError,
+            match="REPRO_KERNEL_BACKEND must be one of "
+                  "auto/python/numpy/compiled",
+        ):
+            envconfig.kernel_backend()
+
+    def test_kernel_cc(self, monkeypatch):
+        assert envconfig.kernel_cc() is None
+        monkeypatch.setenv("REPRO_KERNEL_CC", "   ")
+        assert envconfig.kernel_cc() is None  # blank means "search PATH"
+        monkeypatch.setenv("REPRO_KERNEL_CC", " /usr/bin/cc ")
+        assert envconfig.kernel_cc() == "/usr/bin/cc"
+
     def test_state_plane_flag(self, monkeypatch):
         assert envconfig.state_plane_enabled() is True
         monkeypatch.setenv("REPRO_STATE_PLANE", "0")
@@ -182,6 +205,7 @@ class TestConsumersDelegate:
             "REPRO_CORES": envconfig.core_count,
             "REPRO_BATCH_CELLS": envconfig.batch_cells,
             "REPRO_PLAN": envconfig.plan_mode,
+            "REPRO_KERNEL_BACKEND": envconfig.kernel_backend,
         }
         for name, accessor in cases.items():
             monkeypatch.setenv(name, "garbage")
