@@ -92,6 +92,19 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("stats", "clear"))
 
+    health_p = sub.add_parser(
+        "health",
+        help="print a machine-readable supervision snapshot (breakers, "
+        "pressure, watchdog, degraded modes); exits non-zero when degraded",
+    )
+    health_p.add_argument(
+        "--trip",
+        choices=("kernel", "cache", "shm"),
+        default=None,
+        help="force the named circuit breaker open before reporting "
+        "(for smoke-testing the degraded exit path)",
+    )
+
     faults_p = sub.add_parser("faults", help="fault-injection tooling")
     faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
     fsweep = faults_sub.add_parser(
@@ -270,6 +283,7 @@ def _cmd_cache(action: str) -> int:
         ["entries", info.entries],
         ["size (KiB)", info.bytes / 1024.0],
         ["session corrupt evictions", info.corrupt_evictions],
+        ["session async write drops", info.write_drops],
         ["session cache hits", STATS.cache_hits],
         ["session simulated", STATS.simulated],
         ["session deduplicated", STATS.deduplicated],
@@ -293,6 +307,18 @@ def _cmd_cache(action: str) -> int:
     ]
     print(format_table("result cache", ["metric", "value"], rows))
     return 0
+
+
+def _cmd_health(trip: Optional[str] = None) -> int:
+    import json
+
+    from .resilience import breaker, health
+
+    if trip is not None:
+        breaker.breaker(trip).trip(f"forced open via `repro health --trip {trip}`")
+    snap = health.snapshot()
+    print(json.dumps(snap, indent=2, sort_keys=True, default=str))
+    return 0 if health.healthy(snap) else 1
 
 
 def _cmd_faults_sweep(args: argparse.Namespace) -> int:
@@ -438,6 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                kernel_backend=args.kernel_backend)
     if args.command == "cache":
         return _cmd_cache(args.action)
+    if args.command == "health":
+        return _cmd_health(args.trip)
     if args.command == "faults":
         return _cmd_faults_sweep(args)
     if args.command == "perf":

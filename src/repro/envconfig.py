@@ -26,6 +26,16 @@ Knobs parsed here:
 ``REPRO_KERNEL_BACKEND`` bit-kernel backend: ``auto``/``python``/``numpy``/
                        ``compiled`` (auto)
 ``REPRO_KERNEL_CC``    C compiler for the compiled kernel backend (PATH search)
+``REPRO_HEARTBEAT_S``  watchdog heartbeat window, seconds (float >= 0; off)
+``REPRO_MEM_BUDGET_MB`` soft RSS budget, MiB (int >= 0; off)
+``REPRO_BREAKER_THRESHOLD`` consecutive failures before a circuit breaker
+                       opens (int >= 1; 5)
+``REPRO_BREAKER_BACKOFF`` breaker open->half-open backoff, seconds
+                       (float >= 0; 30)
+``REPRO_DISK_MIN_MB``  minimum free disk under the cache dir, MiB
+                       (int >= 0; 64; 0 disables)
+``REPRO_SHM_MIN_MB``   minimum free /dev/shm headroom, MiB
+                       (int >= 0; 16; 0 disables)
 =====================  =========================================================
 """
 
@@ -204,6 +214,55 @@ def kernel_backend() -> str:
             f"got {raw!r}"
         )
     return value
+
+
+def heartbeat_s() -> Optional[float]:
+    """Watchdog heartbeat window in seconds (``REPRO_HEARTBEAT_S``).
+
+    Pool workers stamp a shared heartbeat array as they make progress;
+    when nothing (completions included) moves for this long, the
+    supervisor reclaims the round early instead of waiting out the full
+    ``REPRO_CELL_TIMEOUT`` deadline.  Unset or ``0`` disables the
+    watchdog (the default — a serial host under memory pressure can
+    legitimately stall longer than any fixed window).
+    """
+    return env_float("REPRO_HEARTBEAT_S", 0.0, minimum=0.0) or None
+
+
+def mem_budget_mb() -> Optional[int]:
+    """Soft RSS budget in MiB (``REPRO_MEM_BUDGET_MB``).
+
+    When the process RSS exceeds the budget, the pressure monitor forces
+    serial execution and shrinks batch chunks until RSS drops back under
+    80% of it.  Unset or ``0`` disables the check.
+    """
+    return env_int("REPRO_MEM_BUDGET_MB", 0, minimum=0) or None
+
+
+def breaker_threshold() -> int:
+    """Consecutive classified failures before a circuit breaker opens
+    (``REPRO_BREAKER_THRESHOLD``, default 5)."""
+    return env_int("REPRO_BREAKER_THRESHOLD", 5, minimum=1)
+
+
+def breaker_backoff_s() -> float:
+    """Seconds an open breaker waits before its half-open probe
+    (``REPRO_BREAKER_BACKOFF``, default 30; doubles per failed probe)."""
+    return env_float("REPRO_BREAKER_BACKOFF", 30.0, minimum=0.0)
+
+
+def disk_min_mb() -> int:
+    """Minimum free disk under the cache dir in MiB (``REPRO_DISK_MIN_MB``,
+    default 64).  Below it the pressure monitor evicts LRU cache entries
+    and then pauses cache writes; ``0`` disables the check."""
+    return env_int("REPRO_DISK_MIN_MB", 64, minimum=0)
+
+
+def shm_min_mb() -> int:
+    """Minimum free ``/dev/shm`` headroom in MiB (``REPRO_SHM_MIN_MB``,
+    default 16).  Below it the trace plane stops publishing segments and
+    workers synthesize in-process; ``0`` disables the check."""
+    return env_int("REPRO_SHM_MIN_MB", 16, minimum=0)
 
 
 def kernel_cc() -> Optional[str]:

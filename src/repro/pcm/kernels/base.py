@@ -32,14 +32,22 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ...errors import ReproError
 
-class BackendUnavailable(RuntimeError):
+
+class BackendUnavailable(ReproError, RuntimeError):
     """Raised when a kernel backend cannot be constructed on this host.
 
     The registry treats this as "not installed" (e.g. no C compiler and
     no prebuilt library for the compiled backend) — callers degrade to
-    the pure-Python backend rather than failing the run.
+    the pure-Python backend rather than failing the run.  Subclasses
+    ``RuntimeError`` for backwards compatibility and
+    :class:`~repro.errors.ReproError` so it classifies under the unified
+    taxonomy (kernel failure, degraded mode: pure Python).
     """
+
+    category = "kernel"
+    degraded_mode = "python"
 
 
 class KernelBackend:

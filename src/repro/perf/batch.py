@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.results import SimulationResult
+from ..resilience import watchdog
 from ..traces import shm
 from .cellspec import CellSpec, simulate_cell
 from .profiler import PROFILER, Snapshot
@@ -86,7 +87,7 @@ def plan_batches(
 
 def simulate_chunk(
     specs: List[CellSpec], handles: Optional[list] = None,
-    kernel: Optional[str] = None,
+    kernel: Optional[str] = None, hb: Optional[str] = None,
 ) -> Tuple[List[SimulationResult], Snapshot]:
     """Pool-worker entry: advance one whole chunk in a single dispatch.
 
@@ -100,7 +101,12 @@ def simulate_chunk(
     the worker process explicitly (warm workers outlive batches, so the
     choice cannot ride on inherited module state); a backend the worker
     cannot construct degrades to pure Python, which is byte-identical.
+    ``hb`` names the parent's heartbeat segment (see
+    :mod:`repro.resilience.watchdog`); the worker stamps it per cell so
+    a long chunk still beats between cells.
     """
+    if hb is not None:
+        watchdog.arm(hb)
     if handles:
         shm.ensure_attached_all(handles)
     if kernel is not None:
@@ -108,7 +114,10 @@ def simulate_chunk(
 
         kernels.activate_preferred(kernel)
     PROFILER.reset()
-    results = [simulate_cell(spec) for spec in specs]
+    results = []
+    for spec in specs:
+        results.append(simulate_cell(spec))
+        watchdog.pulse()
     return results, PROFILER.snapshot()
 
 

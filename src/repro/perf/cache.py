@@ -21,6 +21,9 @@ from typing import Optional
 
 from .. import envconfig
 from ..core.results import SimulationResult
+from ..errors import CacheWriteError
+from ..resilience import breaker as _breaker
+from ..resilience import taxonomy
 
 _SUFFIX = ".pkl"
 
@@ -30,6 +33,12 @@ _LOG = logging.getLogger("repro.perf")
 #: wrong-type payloads, unreadable files).  Session-wide, like
 #: :data:`repro.perf.engine.STATS`.
 _CORRUPT_EVICTIONS = 0
+
+#: Cache writes dropped in this process because the environment refused
+#: them (disk full, permissions — classified ``CacheWriteError``) or
+#: because writes were paused by the cache breaker / pressure monitor.
+#: Session-wide; shown by ``repro cache stats`` and ``repro health``.
+_WRITE_DROPS = 0
 
 #: Exceptions ``load`` treats as a corrupt entry.  Anything else —
 #: notably MemoryError / RecursionError / KeyboardInterrupt — propagates
@@ -57,6 +66,8 @@ class CacheInfo:
     bytes: int
     #: Corrupt entries this *process* has evicted (not an on-disk count).
     corrupt_evictions: int = 0
+    #: Writes this *process* dropped (environmental failure or paused).
+    write_drops: int = 0
 
 
 def corrupt_evictions() -> int:
@@ -68,6 +79,27 @@ def reset_corrupt_evictions() -> None:
     """Zero the session eviction counter (test isolation)."""
     global _CORRUPT_EVICTIONS
     _CORRUPT_EVICTIONS = 0
+
+
+def write_drops() -> int:
+    """Cache writes dropped by this process so far."""
+    return _WRITE_DROPS
+
+
+def reset_write_drops() -> None:
+    """Zero the session write-drop counter (test isolation)."""
+    global _WRITE_DROPS
+    _WRITE_DROPS = 0
+
+
+def _count_drop(key: str, reason: str) -> None:
+    global _WRITE_DROPS
+    _WRITE_DROPS += 1
+    if _WRITE_DROPS == 1:
+        _LOG.warning("dropping cache write %s (%s); results are "
+                     "unaffected, only reuse is", key, reason)
+    else:
+        _LOG.debug("dropping cache write %s (%s)", key, reason)
 
 
 def default_cache_dir() -> Path:
@@ -86,6 +118,10 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else enabled
         self._writer: Optional[_AsyncWriter] = None
+        #: Set by the pressure monitor when disk headroom runs out; a
+        #: paused cache drops (and counts) writes instead of attempting
+        #: them.  Reads are unaffected.
+        self.writes_paused = False
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{_SUFFIX}"
@@ -109,6 +145,10 @@ class ResultCache:
         replaces them with a good one (instead of re-missing forever).
         """
         if not self.enabled:
+            return None
+        if _breaker.breaker("cache").is_open():
+            # The cache is known-broken; don't pay filesystem calls per
+            # cell while the breaker waits out its backoff.
             return None
         path = self._path(key)
         try:
@@ -136,19 +176,32 @@ class ResultCache:
             _LOG.debug("could not evict %s", path)
 
     def store(self, key: str, result: SimulationResult) -> None:
+        """Synchronous atomic store.
+
+        An *environmental* write failure (disk full, quota, permissions,
+        read-only fs — see :data:`repro.resilience.taxonomy.STORAGE_ERRNOS`)
+        is re-raised as a classified :class:`CacheWriteError`; anything
+        else (unpicklable payload, programming errors) raises unchanged.
+        """
         if not self.enabled:
             return
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        tmp = None
         try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        except BaseException as exc:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            if taxonomy.environmental_oserror(exc):
+                raise CacheWriteError(
+                    f"cache write for {key} failed: {exc}"
+                ) from exc
             raise
 
     def store_async(self, key: str, result: SimulationResult) -> None:
@@ -158,9 +211,18 @@ class ResultCache:
         path, overlapping disk writes with whatever the caller does next
         (collecting further pool results, rendering the previous
         experiment's table).  Call :meth:`flush` before relying on the
-        entry being on disk; a store that failed re-raises there.
+        entry being on disk; a store that failed re-raises there —
+        except classified :class:`CacheWriteError`\\ s, which degrade to
+        dropping the write (counted in ``repro cache stats``) and feed
+        the ``cache`` circuit breaker instead of aborting the sweep.
         """
         if not self.enabled:
+            return
+        if self.writes_paused:
+            _count_drop(key, "writes paused by pressure policy")
+            return
+        if not _breaker.breaker("cache").allow():
+            _count_drop(key, "cache breaker open")
             return
         if self._writer is None:
             self._writer = _AsyncWriter(self)
@@ -169,12 +231,52 @@ class ResultCache:
     def flush(self) -> None:
         """Block until every queued async store has hit the disk.
 
-        Re-raises the first exception a background store hit (disk
-        full, unpicklable payload, ...), matching synchronous
-        :meth:`store` semantics, just deferred.
+        Re-raises the first *internal* exception a background store hit
+        (unpicklable payload, programming error), matching synchronous
+        :meth:`store` semantics, just deferred.  Environmental failures
+        never surface here — they were already absorbed as counted
+        drops.
         """
         if self._writer is not None:
             self._writer.flush()
+
+    def pause_writes(self) -> None:
+        self.writes_paused = True
+
+    def resume_writes(self) -> None:
+        self.writes_paused = False
+
+    def evict_lru(self, bytes_needed: int) -> "tuple[int, int]":
+        """Evict least-recently-modified entries until ``bytes_needed``
+        bytes are freed (or the cache is empty).
+
+        Returns ``(entries_removed, bytes_freed)``.  Used by the
+        pressure monitor when free disk under the cache dir drops below
+        ``REPRO_DISK_MIN_MB`` — losing old entries costs re-simulation
+        later, never correctness.
+        """
+        removed = 0
+        freed = 0
+        if bytes_needed <= 0 or not self.root.is_dir():
+            return removed, freed
+        entries = []
+        for path in self.root.glob(f"*{_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        for _, size, path in entries:
+            if freed >= bytes_needed:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        return removed, freed
 
     def info(self) -> CacheInfo:
         entries = 0
@@ -192,6 +294,7 @@ class ResultCache:
             entries=entries,
             bytes=size,
             corrupt_evictions=_CORRUPT_EVICTIONS,
+            write_drops=_WRITE_DROPS,
         )
 
     def clear(self) -> int:
@@ -243,8 +346,19 @@ class _AsyncWriter:
             key, result = self._queue.get()
             try:
                 self._cache.store(key, result)
-            except BaseException as exc:  # surfaced by the next flush()
-                if self._error is None:
+            except CacheWriteError as exc:
+                # Environmental: the sweep must outlive a full disk.
+                _count_drop(key, str(exc))
+                _breaker.breaker("cache").record_failure(exc)
+            except BaseException as exc:
+                if taxonomy.environmental_oserror(exc):
+                    # A monkeypatched/raw OSError that skipped store()'s
+                    # classification still degrades, never aborts.
+                    _count_drop(key, repr(exc))
+                    _breaker.breaker("cache").record_failure(exc)
+                elif self._error is None:  # surfaced by the next flush()
                     self._error = exc
+            else:
+                _breaker.breaker("cache").record_success()
             finally:
                 self._queue.task_done()

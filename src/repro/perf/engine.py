@@ -67,11 +67,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .. import envconfig
+from .. import envconfig, resilience
 from ..core.results import SimulationResult
 from ..errors import CellTimeoutError, WorkerCrashError
 from ..pcm import kernels
 from ..pcm import stateplane
+from ..resilience import breaker as breaker_mod
+from ..resilience import watchdog
+from ..resilience.pressure import PRESSURE
 from ..traces import shm
 from . import batch as batchexec
 from .cache import ResultCache
@@ -154,6 +157,14 @@ class EngineStats:
     kernel_python_picks: int = 0
     kernel_numpy_picks: int = 0
     kernel_compiled_picks: int = 0
+    #: Rounds reclaimed by the heartbeat watchdog before the deadline.
+    watchdog_stalls: int = 0
+    #: Circuit-breaker transitions (see ``repro.resilience.breaker``).
+    breaker_opens: int = 0
+    breaker_probes: int = 0
+    breaker_closes: int = 0
+    #: Resource-pressure policy transitions (evict/pause/suspend/serial).
+    pressure_events: int = 0
 
     def reset(self) -> None:
         self.cache_hits = 0
@@ -176,6 +187,11 @@ class EngineStats:
         self.kernel_python_picks = 0
         self.kernel_numpy_picks = 0
         self.kernel_compiled_picks = 0
+        self.watchdog_stalls = 0
+        self.breaker_opens = 0
+        self.breaker_probes = 0
+        self.breaker_closes = 0
+        self.pressure_events = 0
 
     def cache_hit_rate(self) -> Optional[float]:
         """Cache hits as a fraction of resolved cells (None before any)."""
@@ -247,6 +263,18 @@ class EngineStats:
                 f"; batch: {self.batched_cells} cells in "
                 f"{self.batch_dispatches} dispatches"
             )
+        if (
+            self.watchdog_stalls
+            or self.breaker_opens
+            or self.pressure_events
+        ):
+            base += (
+                f"; supervision: {self.watchdog_stalls} watchdog stalls, "
+                f"{self.breaker_opens} breaker opens "
+                f"({self.breaker_probes} probes, "
+                f"{self.breaker_closes} closes), "
+                f"{self.pressure_events} pressure events"
+            )
         plane = stateplane.PLANE
         if plane.row_hits or plane.mask_hits:
             base += f"; state plane: {plane.summary()}"
@@ -256,6 +284,27 @@ class EngineStats:
 
 #: Counters accumulated across every ``run_cells`` call in this process.
 STATS = EngineStats()
+
+
+def _resilience_sink(kind: str) -> None:
+    """Mirror supervision events into the session counters.
+
+    Registered as the :mod:`repro.resilience` counter sink (a callback,
+    so the breaker/pressure modules never import the engine back).
+    """
+    if kind == "breaker_open":
+        STATS.breaker_opens += 1
+    elif kind == "breaker_half_open":
+        STATS.breaker_probes += 1
+    elif kind == "breaker_close":
+        STATS.breaker_closes += 1
+    elif kind == "watchdog_stall":
+        STATS.watchdog_stalls += 1
+    elif kind.startswith("pressure_"):
+        STATS.pressure_events += 1
+
+
+resilience.register_counter_sink(_resilience_sink)
 
 
 class CellRunner:
@@ -268,7 +317,8 @@ class CellRunner:
                  backoff: Optional[float] = None,
                  plan: Optional[str] = None,
                  batch_cells: Optional[int] = None,
-                 kernel_backend: Optional[str] = None):
+                 kernel_backend: Optional[str] = None,
+                 heartbeat_s: Optional[float] = None):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -303,6 +353,14 @@ class CellRunner:
                 f"{'/'.join(envconfig.KERNEL_BACKENDS)}, "
                 f"got {self.kernel_backend!r}"
             )
+        if heartbeat_s is not None and heartbeat_s < 0:
+            raise ValueError(
+                f"heartbeat_s must be >= 0, got {heartbeat_s}"
+            )
+        #: Watchdog no-heartbeat window, seconds; ``None``/0 disables.
+        self.heartbeat_s = (
+            heartbeat_s if heartbeat_s is not None else envconfig.heartbeat_s()
+        ) or None
         #: Prefetched cells still cooking in the warm pool, by cache key.
         self._inflight: Dict[str, Future] = {}
         self._inflight_specs: Dict[str, CellSpec] = {}
@@ -311,6 +369,9 @@ class CellRunner:
 
     def run_cells(self, specs: Sequence[CellSpec]) -> List[SimulationResult]:
         """Simulate (or recall) every cell, in submission order."""
+        # Periodic resource-pressure check (rate-limited): applies/lifts
+        # degradation policies before this batch commits to a mode.
+        PRESSURE.maybe_check(self.cache)
         keys = [cache_key(spec) for spec in specs]
         unique: Dict[str, CellSpec] = {}
         for key, spec in zip(keys, specs):
@@ -365,6 +426,7 @@ class CellRunner:
         if self.jobs <= 1:
             return 0
         kernel = self._resolve_kernel()
+        hb = self._heartbeat_handle()
         submitted = 0
         seen: set = set()
         pool = None
@@ -387,7 +449,7 @@ class CellRunner:
             with defer_sigint():
                 try:
                     future = pool.submit(
-                        _simulate_with_phases, spec, handle, kernel
+                        _simulate_with_phases, spec, handle, kernel, hb
                     )
                 except (BrokenProcessPool, RuntimeError):
                     # The pool died mid-prefetch; unsubmitted cells simply
@@ -444,7 +506,9 @@ class CellRunner:
         if mode == "serial":
             # In-process, chunk-grouped for state-plane and trace-memo
             # locality: simulate_cell feeds PROFILER directly.
-            out = batchexec.simulate_batch(specs, notify, self.batch_cells)
+            out = batchexec.simulate_batch(
+                specs, notify, self._effective_batch_cells()
+            )
             wall = time.monotonic() - start
             PLANNER.observe("serial", len(specs), wall)
         elif mode == "batch":
@@ -458,7 +522,33 @@ class CellRunner:
                 "pool_warm" if pool_alive else "pool_cold", len(specs), wall
             )
         PLANNER.observe_kernel(kernel, len(specs), wall)
+        self._observe_kernel_health(kernel)
         return out
+
+    def _observe_kernel_health(self, kernel: str) -> None:
+        """Feed the ``kernel`` breaker from the in-process backend state.
+
+        A native backend that crashed mid-batch retired itself
+        (``dead=True``, byte-identical python replay — see
+        ``pcm/kernels``); each such batch counts as one breaker failure,
+        so repeated retirements eventually route ``auto`` picks straight
+        to python instead of re-probing a broken toolchain every batch.
+        """
+        kb = breaker_mod.breaker("kernel")
+        if kernel == "python":
+            # A python batch says nothing about the native backends; if
+            # allow() had just granted a half-open probe, release it.
+            kb.abandon_probe()
+            return
+        try:
+            backend = kernels.get_backend(kernel)
+        except Exception as exc:
+            kb.record_failure(exc)
+            return
+        if getattr(backend, "dead", False):
+            kb.record_failure()
+        else:
+            kb.record_success()
 
     def _resolve_kernel(self) -> str:
         """The bit-kernel backend for the next cold batch.
@@ -468,11 +558,17 @@ class CellRunner:
         this host raises :class:`~repro.pcm.kernels.BackendUnavailable`
         rather than silently degrading.  ``auto`` asks the planner for
         the cheapest of the backends constructible here (pure Python when
-        nothing else builds) and records the pick.
+        nothing else builds) and records the pick — unless the ``kernel``
+        circuit breaker is open, in which case ``auto`` routes straight
+        to the byte-identical pure-Python reference until the breaker's
+        half-open probe lets a native backend try again.
         """
         if self.kernel_backend != "auto":
             kernels.get_backend(self.kernel_backend)  # raise if unavailable
             return self.kernel_backend
+        if not breaker_mod.breaker("kernel").allow():
+            STATS.kernel_python_picks += 1
+            return "python"
         name = PLANNER.decide_kernel(kernels.available_backends())
         if name == "python":
             STATS.kernel_python_picks += 1
@@ -497,7 +593,7 @@ class CellRunner:
         if trivial:
             return "serial"
         mode = PLANNER.decide(
-            cells, self.jobs, self.batch_cells, WARM_POOL.alive
+            cells, self.jobs, self._effective_batch_cells(), WARM_POOL.alive
         )
         if mode == "serial":
             STATS.planner_serial_picks += 1
@@ -506,6 +602,16 @@ class CellRunner:
         else:
             STATS.planner_batch_picks += 1
         return mode
+
+    def _effective_batch_cells(self) -> int:
+        """Configured chunk size, shrunk under memory pressure."""
+        return PRESSURE.effective_batch_cells(self.batch_cells)
+
+    def _heartbeat_handle(self) -> Optional[str]:
+        """The heartbeat segment name workers arm against (or ``None``)."""
+        if not self.heartbeat_s:
+            return None
+        return watchdog.HEARTBEATS.ensure()
 
     def _simulate_batched(
         self, specs: List[CellSpec], notify: _OnResult, kernel: str
@@ -521,12 +627,15 @@ class CellRunner:
         to the per-cell ladder.
         """
         results: List[Optional[SimulationResult]] = [None] * len(specs)
-        chunks, singles = batchexec.plan_batches(specs, self.batch_cells)
+        chunks, singles = batchexec.plan_batches(
+            specs, self._effective_batch_cells()
+        )
         failed_cells: List[int] = []
         futures: Dict[int, Future] = {}
         submitted: Dict[int, List[int]] = {}
         if chunks:
             pool = self._get_pool(min(self.jobs, len(chunks)))
+            hb = self._heartbeat_handle()
             try:
                 for position, chunk in enumerate(chunks):
                     handles = []
@@ -540,7 +649,7 @@ class CellRunner:
                     with defer_sigint():
                         futures[position] = pool.submit(
                             batchexec.simulate_chunk, chunk_specs, handles,
-                            kernel,
+                            kernel, hb,
                         )
                     submitted[position] = chunk
                     STATS.batch_dispatches += 1
@@ -648,6 +757,7 @@ class CellRunner:
         """
         workers = min(self.jobs, len(indices))
         pool = self._get_pool(workers)
+        hb = self._heartbeat_handle()
         futures: Dict[int, Future] = {}
         try:
             for index in indices:
@@ -657,7 +767,8 @@ class CellRunner:
                 # end of each iteration and unwind through run_cells.
                 with defer_sigint():
                     futures[index] = pool.submit(
-                        _simulate_with_phases, specs[index], handle, kernel
+                        _simulate_with_phases, specs[index], handle, kernel,
+                        hb,
                     )
         except (BrokenProcessPool, RuntimeError):
             for future in futures.values():
@@ -689,6 +800,14 @@ class CellRunner:
         window silently included time spent waiting on earlier futures).
         ``timeout`` overrides the per-cell budget (the batched path
         scales it by chunk size); ``None`` uses ``self.cell_timeout``.
+
+        With ``heartbeat_s`` set, a :class:`~repro.resilience.watchdog.
+        Watchdog` thread supervises the round: workers stamp the shared
+        heartbeat plane as they progress, and when *neither* completions
+        nor heartbeats move for the window, the round is reclaimed early
+        — the pending cells rejoin the retry ladder exactly as a
+        deadline expiry would send them, typically long before the
+        (necessarily generous) deadline fires.
         """
         payloads: Dict[object, tuple] = {}
         failed: List[object] = []
@@ -697,60 +816,106 @@ class CellRunner:
         if timeout is None:
             timeout = self.cell_timeout
         deadline = (time.monotonic() + timeout) if timeout else None
-        while pending:
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    for key, future in pending.items():
-                        future.cancel()
-                        STATS.cell_timeouts += 1
-                        failed.append(key)
-                        _LOG.warning(
-                            "cell %s exceeded REPRO_CELL_TIMEOUT=%ss: %s",
-                            key, timeout,
-                            CellTimeoutError(str(key)),
-                        )
-                    hung = True
-                    break
+        supervisor: Optional[watchdog.Watchdog] = None
+        if self.heartbeat_s and pending:
+            supervisor = watchdog.Watchdog(
+                watchdog.HEARTBEATS, self.heartbeat_s
+            )
+            supervisor.start()
+        try:
+            while pending:
+                wait_timeout: Optional[float] = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        for key, future in pending.items():
+                            future.cancel()
+                            STATS.cell_timeouts += 1
+                            failed.append(key)
+                            _LOG.warning(
+                                "cell %s exceeded REPRO_CELL_TIMEOUT=%ss: %s",
+                                key, timeout,
+                                CellTimeoutError(str(key)),
+                            )
+                        hung = True
+                        break
+                    wait_timeout = remaining
+                if supervisor is not None:
+                    wait_timeout = (
+                        supervisor.poll_s if wait_timeout is None
+                        else min(wait_timeout, supervisor.poll_s)
+                    )
                 done, _ = _futures_wait(
-                    set(pending.values()), timeout=remaining,
+                    set(pending.values()), timeout=wait_timeout,
                     return_when=FIRST_COMPLETED,
                 )
                 if not done:
-                    continue  # next iteration observes the expired deadline
-            else:
-                done, _ = _futures_wait(
-                    set(pending.values()), return_when=FIRST_COMPLETED
-                )
-            progressed = False
-            for key in [k for k, f in pending.items() if f in done]:
-                future = pending.pop(key)
-                try:
-                    payloads[key] = future.result()
-                    progressed = True
-                except BrokenProcessPool as exc:
-                    STATS.worker_crashes += 1
-                    broken = True
-                    failed.append(key)
-                    _LOG.warning(
-                        "worker died simulating cell %s: %s",
-                        key, WorkerCrashError(str(exc)),
-                    )
-                except CancelledError:
-                    # The executor cancelled queued cells when the pool
-                    # broke; charge them as crashes so they retry.
-                    STATS.worker_crashes += 1
-                    broken = True
-                    failed.append(key)
-                except Exception as exc:
-                    STATS.worker_crashes += 1
-                    failed.append(key)
-                    _LOG.warning(
-                        "worker raised simulating cell %s: %r", key, exc
-                    )
-            if progressed and deadline is not None:
-                deadline = time.monotonic() + timeout
+                    if supervisor is not None and supervisor.stalled():
+                        for key, future in pending.items():
+                            future.cancel()
+                            failed.append(key)
+                        resilience.record_event(
+                            "watchdog_stall",
+                            f"no heartbeat or completion for "
+                            f"{self.heartbeat_s}s; reclaiming "
+                            f"{len(pending)} pending cell(s)",
+                        )
+                        _LOG.warning(
+                            "watchdog: no heartbeat for %ss; reclaiming %d "
+                            "pending cell(s) ahead of the deadline",
+                            self.heartbeat_s, len(pending),
+                        )
+                        hung = True
+                        break
+                    continue  # re-check deadline / watchdog and re-wait
+                self._drain_done(pending, done, payloads, failed)
+                broken = broken or self._round_broken
+                if self._round_progressed:
+                    if supervisor is not None:
+                        supervisor.touch()
+                    if deadline is not None:
+                        deadline = time.monotonic() + timeout
+        finally:
+            if supervisor is not None:
+                supervisor.stop()
         return payloads, failed, hung, broken
+
+    def _drain_done(
+        self,
+        pending: Dict[object, Future],
+        done,
+        payloads: Dict[object, tuple],
+        failed: List[object],
+    ) -> None:
+        """Harvest completed futures; sets ``_round_progressed`` /
+        ``_round_broken`` for the collection loop."""
+        self._round_progressed = False
+        self._round_broken = False
+        for key in [k for k, f in pending.items() if f in done]:
+            future = pending.pop(key)
+            try:
+                payloads[key] = future.result()
+                self._round_progressed = True
+            except BrokenProcessPool as exc:
+                STATS.worker_crashes += 1
+                self._round_broken = True
+                failed.append(key)
+                _LOG.warning(
+                    "worker died simulating cell %s: %s",
+                    key, WorkerCrashError(str(exc)),
+                )
+            except CancelledError:
+                # The executor cancelled queued cells when the pool
+                # broke; charge them as crashes so they retry.
+                STATS.worker_crashes += 1
+                self._round_broken = True
+                failed.append(key)
+            except Exception as exc:
+                STATS.worker_crashes += 1
+                failed.append(key)
+                _LOG.warning(
+                    "worker raised simulating cell %s: %r", key, exc
+                )
 
     # -- warm-pool plumbing ------------------------------------------------
 
@@ -773,7 +938,9 @@ def _publish_trace(spec: CellSpec):
     )
 
 
-def _simulate_with_phases(spec: CellSpec, handle=None, kernel=None) -> tuple:
+def _simulate_with_phases(
+    spec: CellSpec, handle=None, kernel=None, hb=None
+) -> tuple:
     """Pool worker: simulate one cell, shipping its phase timings back.
 
     ``handle`` points at the parent-published shared-memory trace; the
@@ -783,8 +950,12 @@ def _simulate_with_phases(spec: CellSpec, handle=None, kernel=None) -> tuple:
     is reset before each cell and its delta returned with the result.
     ``kernel`` names the parent's bit-kernel backend pick; a worker that
     cannot construct it degrades to the byte-identical pure-Python
-    reference.
+    reference.  ``hb`` names the parent's heartbeat segment: the worker
+    stamps it per cell (and the armed event loop stamps it mid-cell) so
+    the watchdog can tell slow from wedged.
     """
+    if hb is not None:
+        watchdog.arm(hb)
     if handle is not None:
         shm.ensure_attached(handle)
     if kernel is not None:
@@ -792,6 +963,7 @@ def _simulate_with_phases(spec: CellSpec, handle=None, kernel=None) -> tuple:
     PROFILER.reset()
     result = simulate_cell(spec)
     snapshot: Snapshot = PROFILER.snapshot()
+    watchdog.pulse()
     return result, snapshot
 
 
@@ -845,9 +1017,11 @@ def reset() -> None:
     WARM_POOL.shutdown()
     WARM_POOL.reset_counters()
     shm.reset()
-    from .cache import reset_corrupt_evictions
+    resilience.reset_all()
+    from .cache import reset_corrupt_evictions, reset_write_drops
 
     reset_corrupt_evictions()
+    reset_write_drops()
 
 
 def teardown(terminate: bool = False) -> None:
@@ -862,6 +1036,7 @@ def teardown(terminate: bool = False) -> None:
         _configured.cancel_prefetch()
     WARM_POOL.shutdown(terminate=terminate)
     shm.PLANE.close()
+    watchdog.HEARTBEATS.close()
 
 
 def get_runner() -> CellRunner:

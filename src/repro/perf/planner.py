@@ -281,7 +281,19 @@ class AdaptivePlanner:
         batch_cells: int,
         pool_alive: bool = False,
     ) -> str:
-        """Pick ``"serial"``, ``"pool"``, or ``"batch"`` for one cold batch."""
+        """Pick ``"serial"``, ``"pool"``, or ``"batch"`` for one cold batch.
+
+        Memory pressure overrides the cost model: while the pressure
+        monitor has forced serial execution (RSS over
+        ``REPRO_MEM_BUDGET_MB``), every ``auto`` decision is ``serial``
+        — forked workers would only multiply the footprint.  Forced
+        plans (``REPRO_PLAN=pool`` etc.) never reach this method, so
+        explicit operator choices stay deterministic.
+        """
+        from ..resilience.pressure import PRESSURE
+
+        if PRESSURE.serial_forced:
+            return "serial"
         self._ensure_seeded()
         effective = min(jobs, os.cpu_count() or 1)
         if cells <= 1 or effective <= 1:

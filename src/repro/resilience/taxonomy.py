@@ -1,0 +1,76 @@
+"""Classify any exception into the unified failure taxonomy.
+
+:mod:`repro.errors` gives every library exception ``category`` /
+``retryable`` / ``degraded_mode`` class attributes; this module extends
+the same classification to *foreign* exceptions (``OSError`` by errno,
+``BrokenProcessPool``, ``MemoryError``) so the ladder, the breakers, and
+the cache writer all make the same call on the same failure.
+"""
+
+from __future__ import annotations
+
+import errno
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CATEGORIES, ReproError
+
+#: errnos that mean "the storage environment is broken", not "the code
+#: is broken": retrying the same write is pointless until the operator
+#: frees space or fixes permissions, so the right response is a degraded
+#: mode, never a crash.
+STORAGE_ERRNOS = frozenset(
+    {
+        errno.ENOSPC,  # no space left on device
+        errno.EDQUOT,  # quota exceeded
+        errno.EROFS,   # read-only filesystem
+        errno.EACCES,  # permission denied
+        errno.EPERM,   # operation not permitted
+        errno.EIO,     # low-level I/O error
+    }
+)
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Where a failure belongs in the taxonomy (see ``repro.errors``)."""
+
+    category: str
+    retryable: bool
+    degraded_mode: Optional[str]
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(
+                f"unknown taxonomy category {self.category!r}; "
+                f"expected one of {CATEGORIES}"
+            )
+
+
+def environmental_oserror(exc: BaseException) -> bool:
+    """True when ``exc`` is an ``OSError`` caused by the environment
+    (disk full, quota, permissions, read-only fs, I/O error)."""
+    return isinstance(exc, OSError) and exc.errno in STORAGE_ERRNOS
+
+
+def classify(exc: BaseException) -> Classification:
+    """Map any exception onto the taxonomy.
+
+    Library errors carry their own attributes; well-known foreign
+    exceptions are mapped by type/errno; everything else is an
+    ``internal`` (programming) error — not retryable, no degraded mode,
+    and therefore the one class that should surface loudly.
+    """
+    if isinstance(exc, ReproError):
+        return Classification(exc.category, exc.retryable, exc.degraded_mode)
+    if isinstance(exc, BrokenProcessPool):
+        # The pool died under the cell, not the cell under the pool.
+        return Classification("execution", True, "serial")
+    if isinstance(exc, TimeoutError):
+        return Classification("execution", True, "serial")
+    if isinstance(exc, (MemoryError, RecursionError)):
+        return Classification("resource", False, "serial")
+    if environmental_oserror(exc):
+        return Classification("resource", False, None)
+    return Classification("internal", False, None)

@@ -1,0 +1,219 @@
+"""Heartbeat watchdog: detect hung pool workers before the deadline.
+
+The PR 3 ladder already reclaims hung rounds, but only after a full
+``REPRO_CELL_TIMEOUT`` of no completions — and a sound timeout must be
+generous, because a cold cell's runtime scales with ``REPRO_TRACE_LEN``.
+Heartbeats separate "slow but alive" from "wedged": workers stamp a
+shared array as they make progress (per cell, and every few thousand
+event-loop steps mid-cell), so a supervisor can reclaim a round as soon
+as *nothing* — neither completions nor heartbeats — has moved for
+``REPRO_HEARTBEAT_S`` seconds, typically a small fraction of a safe
+deadline.
+
+Layout: one ``float64[SLOTS]`` shared-memory segment per parent process
+(:class:`HeartbeatPlane`); each worker stamps ``time.time()`` into slot
+``pid % SLOTS``.  Collisions just merge two workers' beats into one slot
+— harmless, since the supervisor only looks at the *newest* stamp across
+all slots.  Torn reads of a float64 are possible in theory and harmless
+in practice: a garbage value either looks stale (ignored — some other
+slot is fresher) or looks fresh for one poll interval.
+
+The watchdog changes *when* the failure ladder fires, never *what*
+results are: reclaimed cells rejoin the exact retry → serial path a
+deadline expiry would have sent them down.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import os
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Optional
+
+import numpy as np
+
+_LOG = logging.getLogger("repro.resilience")
+
+#: Segment-name prefix (distinct from the trace plane's ``reprotp`` so
+#: the CI shm leak check stays precise).
+HB_PREFIX = "reprohb"
+
+#: Heartbeat slots per plane; must comfortably exceed any plausible
+#: ``REPRO_JOBS`` so pid-modulo collisions stay rare.
+SLOTS = 128
+
+
+class HeartbeatPlane:
+    """Parent-side owner of the shared heartbeat segment."""
+
+    def __init__(self) -> None:
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._stamps: Optional[np.ndarray] = None
+        self.name: Optional[str] = None
+        self._atexit_registered = False
+
+    def ensure(self) -> Optional[str]:
+        """Create the segment lazily; returns its name, or ``None`` when
+        shared memory is unavailable (the watchdog then falls back to
+        completion-activity-only supervision)."""
+        if self._segment is not None:
+            return self.name
+        name = f"{HB_PREFIX}_{os.getpid()}"
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=SLOTS * 8, name=name
+            )
+        except FileExistsError:
+            # A previous plane in this pid was not closed (crashed test
+            # run); adopt and re-zero it.
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except OSError:
+                return None
+        except OSError:
+            _LOG.debug("heartbeat segment unavailable", exc_info=True)
+            return None
+        self._segment = segment
+        self.name = name
+        self._stamps = np.ndarray((SLOTS,), dtype=np.float64, buffer=segment.buf)
+        self._stamps[:] = 0.0
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+        return name
+
+    def latest(self) -> float:
+        """The newest worker stamp (0.0 when no plane or no beats yet)."""
+        if self._stamps is None:
+            return 0.0
+        return float(self._stamps.max())
+
+    def close(self) -> None:
+        segment, self._segment = self._segment, None
+        self._stamps = None
+        self.name = None
+        if segment is not None:
+            # Unlink before close: a lingering export on the buffer makes
+            # close() raise BufferError, which must not cost the unlink.
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                _LOG.debug("could not unlink heartbeat segment", exc_info=True)
+            try:
+                segment.close()
+            except Exception:
+                _LOG.debug("could not close heartbeat segment", exc_info=True)
+
+
+#: The process-wide plane (parent side).
+HEARTBEATS = HeartbeatPlane()
+
+
+# -- worker side -------------------------------------------------------------
+
+_worker_segment: Optional[shared_memory.SharedMemory] = None
+_worker_stamps: Optional[np.ndarray] = None
+_worker_slot = 0
+_armed_pid: Optional[int] = None
+
+
+def arm(name: Optional[str]) -> None:
+    """Worker-side: attach to the parent's heartbeat segment and stamp.
+
+    Idempotent per process (re-arming just pulses).  A missing or
+    unattachable segment silently leaves the worker unarmed — the
+    supervisor still sees completion activity, so supervision degrades,
+    it does not break.
+    """
+    global _worker_segment, _worker_stamps, _worker_slot, _armed_pid
+    pid = os.getpid()
+    if name is None:
+        return
+    if _armed_pid == pid and _worker_stamps is not None:
+        pulse()
+        return
+    try:
+        try:
+            segment = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track parameter
+            segment = shared_memory.SharedMemory(name=name)
+    except OSError:
+        _LOG.debug("heartbeat segment %s unattachable", name, exc_info=True)
+        return
+    _worker_segment = segment
+    _worker_stamps = np.ndarray((SLOTS,), dtype=np.float64, buffer=segment.buf)
+    _worker_slot = pid % SLOTS
+    _armed_pid = pid
+    pulse()
+
+
+def pulse() -> None:
+    """Stamp this worker's slot (no-op unless armed; safe anywhere)."""
+    stamps = _worker_stamps
+    if stamps is not None:
+        stamps[_worker_slot] = time.time()
+
+
+def pulse_hook() -> Optional[Callable[[], None]]:
+    """:func:`pulse` when this process is armed, else ``None``.
+
+    The core event loop asks once per ``run()`` and keeps its original
+    tight loop when unarmed, so serial (parent) execution pays nothing.
+    """
+    return pulse if _worker_stamps is not None else None
+
+
+class Watchdog(threading.Thread):
+    """Supervisor thread for one collection round.
+
+    Stall condition: neither parent-side activity (:meth:`touch`, called
+    on every future completion) nor any worker heartbeat is newer than
+    ``interval_s``.  The thread only *flags* the stall; the engine owns
+    the response (cancel, count, retire the pool, rejoin the ladder).
+    """
+
+    def __init__(self, plane: HeartbeatPlane, interval_s: float) -> None:
+        super().__init__(name="repro-watchdog", daemon=True)
+        self._plane = plane
+        self.interval_s = float(interval_s)
+        #: How long the engine's future-wait may block between checks.
+        self.poll_s = min(max(self.interval_s / 4.0, 0.02), 1.0)
+        self._stalled = threading.Event()
+        self._stop = threading.Event()
+        self._activity = time.time()
+
+    def touch(self) -> None:
+        """Parent-side progress marker (a future completed)."""
+        self._activity = time.time()
+
+    def stalled(self) -> bool:
+        return self._stalled.is_set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            last = max(self._activity, self._plane.latest())
+            if time.time() - last > self.interval_s:
+                self._stalled.set()
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def reset() -> None:
+    """Close the parent plane and forget worker-side arming (tests)."""
+    global _worker_segment, _worker_stamps, _armed_pid
+    HEARTBEATS.close()
+    segment, _worker_segment = _worker_segment, None
+    _worker_stamps = None
+    _armed_pid = None
+    if segment is not None:
+        try:
+            segment.close()
+        except Exception:
+            pass

@@ -40,6 +40,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..resilience import breaker as _breaker
 from .profiles import profile
 from .record import TraceArray
 from .workload import Workload, homogeneous_workload
@@ -139,7 +140,19 @@ class TracePlane:
         self.published = 0
         #: Cells that reused an already-published segment.
         self.hits = 0
+        #: Publishes skipped because the plane was suspended or the shm
+        #: breaker was open (the workers synthesized in-process instead).
+        self.suppressed = 0
+        #: Set by the pressure monitor when /dev/shm headroom runs out.
+        self.suspended = False
         self._atexit_registered = False
+
+    def suspend(self) -> None:
+        """Stop publishing new segments (existing ones stay mapped)."""
+        self.suspended = True
+
+    def resume(self) -> None:
+        self.suspended = False
 
     def handle_for(
         self, bench: str, length: int, cores: int, seed: int
@@ -147,8 +160,11 @@ class TracePlane:
         """Publish (or reuse) the segment for one workload.
 
         Returns ``None`` for degenerate empty workloads (zero-byte
-        segments are invalid); the worker then synthesizes in-process,
-        which is instant at length 0.
+        segments are invalid), while the plane is suspended by the
+        pressure monitor, or while the ``shm`` circuit breaker is open —
+        the worker then synthesizes in-process, which is byte-identical
+        (and instant at length 0).  A failed segment creation feeds the
+        breaker and degrades the same way instead of killing the sweep.
         """
         if length <= 0 or cores <= 0:
             return None
@@ -157,56 +173,93 @@ class TracePlane:
         if entry is not None:
             self.hits += 1
             return entry[1]
+        if self.suspended:
+            self.suppressed += 1
+            return None
+        shm_breaker = _breaker.breaker("shm")
+        if not shm_breaker.allow():
+            self.suppressed += 1
+            return None
 
         workload = workload_for(bench, length, cores, seed)
         _, _, total = _column_layout(cores, length)
         name = f"{SHM_PREFIX}_{os.getpid()}_{self._counter}"
         self._counter += 1
-        segment = shared_memory.SharedMemory(
-            create=True, size=total, name=name
-        )
+        handle = TraceHandle(key=key, name=name, cores=cores, length=length)
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=total, name=name
+            )
+        except OSError as exc:
+            shm_breaker.record_failure(exc)
+            self.suppressed += 1
+            _LOG.warning("could not publish trace segment %s (%s); "
+                         "workers will synthesize in-process", name, exc)
+            return None
+        # Register BEFORE filling: from here on :meth:`close` owns the
+        # segment's lifetime, so a Ctrl-C landing anywhere in the column
+        # copy below cannot leak it — the leak window is one bytecode
+        # (create returning -> this store), not the whole copy loop.
+        self._segments[key] = (segment, handle)
+        if not self._atexit_registered:
+            # Lazy registration keeps import side-effect free; one hook
+            # covers every segment this plane ever publishes.
+            atexit.register(self.close)
+            self._atexit_registered = True
         try:
             is_write, address, gap = _views(segment.buf, cores, length)
             for c, trace in enumerate(workload.traces):
                 is_write[c] = trace.is_write
                 address[c] = trace.address
                 gap[c] = trace.gap
-            handle = TraceHandle(
-                key=key, name=name, cores=cores, length=length
-            )
-            self._segments[key] = (segment, handle)
         except BaseException:
-            # A Ctrl-C (or anything else) between create and registration
-            # would otherwise leak a segment close() can never see.
+            # Drop the half-filled segment so a later hit can never see
+            # garbage bytes.  Unlink BEFORE close: the column views above
+            # still hold buffer exports, so ``segment.close()`` raises
+            # ``BufferError`` here — with close-first that replaced the
+            # unlink entirely and leaked the segment (the chaos suite's
+            # SIGINT leak check caught exactly this).  ``unlink`` is a
+            # plain ``shm_unlink(name)`` and cannot BufferError; each
+            # step swallows ``BaseException`` so a second Ctrl-C cannot
+            # skip the other.
+            try:
+                segment.unlink()
+            except BaseException:
+                _LOG.debug("could not unlink %s", name, exc_info=True)
             try:
                 segment.close()
-                segment.unlink()
-            except OSError:
-                pass
+            except BaseException:
+                pass  # exported views; dropped with this frame anyway
+            self._segments.pop(key, None)
             raise
+        shm_breaker.record_success()
         self.published += 1
-        if not self._atexit_registered:
-            # Lazy registration keeps import side-effect free; one hook
-            # covers every segment this plane ever publishes.
-            atexit.register(self.close)
-            self._atexit_registered = True
         return handle
 
     def close(self) -> None:
         """Unlink every published segment (idempotent; atexit-registered)."""
         segments, self._segments = self._segments, {}
         for segment, handle in segments.values():
+            # Unlink before close: if anything still exports the buffer,
+            # close() raises BufferError — that must never cost the
+            # unlink (the /dev/shm entry is the leak; the mapping dies
+            # with the process regardless).
             try:
-                segment.close()
                 segment.unlink()
             except FileNotFoundError:
                 pass
             except Exception:  # never let cleanup mask the real error
                 _LOG.debug("could not unlink %s", handle.name, exc_info=True)
+            try:
+                segment.close()
+            except Exception:
+                _LOG.debug("could not close %s", handle.name, exc_info=True)
 
     def reset_counters(self) -> None:
         self.published = 0
         self.hits = 0
+        self.suppressed = 0
+        self.suspended = False
 
 
 #: The process-wide plane the engine publishes through.

@@ -20,6 +20,9 @@ def _clean_env(monkeypatch):
         "REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_PROFILE", "REPRO_PIPELINE",
         "REPRO_BATCH_CELLS", "REPRO_PLAN", "REPRO_STATE_PLANE",
         "REPRO_KERNEL_BACKEND", "REPRO_KERNEL_CC",
+        "REPRO_HEARTBEAT_S", "REPRO_MEM_BUDGET_MB",
+        "REPRO_BREAKER_THRESHOLD", "REPRO_BREAKER_BACKOFF",
+        "REPRO_DISK_MIN_MB", "REPRO_SHM_MIN_MB",
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -163,6 +166,50 @@ class TestAccessors:
         monkeypatch.setenv("REPRO_KERNEL_CC", " /usr/bin/cc ")
         assert envconfig.kernel_cc() == "/usr/bin/cc"
 
+    def test_heartbeat_s(self, monkeypatch):
+        assert envconfig.heartbeat_s() is None
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "0")
+        assert envconfig.heartbeat_s() is None  # 0 disables
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "1.5")
+        assert envconfig.heartbeat_s() == 1.5
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "-1")
+        with pytest.raises(ValueError, match="REPRO_HEARTBEAT_S"):
+            envconfig.heartbeat_s()
+
+    def test_mem_budget_mb(self, monkeypatch):
+        assert envconfig.mem_budget_mb() is None
+        monkeypatch.setenv("REPRO_MEM_BUDGET_MB", "0")
+        assert envconfig.mem_budget_mb() is None  # 0 disables
+        monkeypatch.setenv("REPRO_MEM_BUDGET_MB", "512")
+        assert envconfig.mem_budget_mb() == 512
+        monkeypatch.setenv("REPRO_MEM_BUDGET_MB", "-1")
+        with pytest.raises(ValueError, match="REPRO_MEM_BUDGET_MB"):
+            envconfig.mem_budget_mb()
+
+    def test_breaker_knobs(self, monkeypatch):
+        assert envconfig.breaker_threshold() == 5
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "2")
+        assert envconfig.breaker_threshold() == 2
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "0")
+        with pytest.raises(
+            ValueError, match="REPRO_BREAKER_THRESHOLD must be >= 1"
+        ):
+            envconfig.breaker_threshold()
+        assert envconfig.breaker_backoff_s() == 30.0
+        monkeypatch.setenv("REPRO_BREAKER_BACKOFF", "0.1")
+        assert envconfig.breaker_backoff_s() == 0.1
+
+    def test_pressure_floors(self, monkeypatch):
+        assert envconfig.disk_min_mb() == 64
+        assert envconfig.shm_min_mb() == 16
+        monkeypatch.setenv("REPRO_DISK_MIN_MB", "0")
+        monkeypatch.setenv("REPRO_SHM_MIN_MB", "0")
+        assert envconfig.disk_min_mb() == 0  # 0 disables the check
+        assert envconfig.shm_min_mb() == 0
+        monkeypatch.setenv("REPRO_DISK_MIN_MB", "-5")
+        with pytest.raises(ValueError, match="REPRO_DISK_MIN_MB"):
+            envconfig.disk_min_mb()
+
     def test_state_plane_flag(self, monkeypatch):
         assert envconfig.state_plane_enabled() is True
         monkeypatch.setenv("REPRO_STATE_PLANE", "0")
@@ -206,6 +253,12 @@ class TestConsumersDelegate:
             "REPRO_BATCH_CELLS": envconfig.batch_cells,
             "REPRO_PLAN": envconfig.plan_mode,
             "REPRO_KERNEL_BACKEND": envconfig.kernel_backend,
+            "REPRO_HEARTBEAT_S": envconfig.heartbeat_s,
+            "REPRO_MEM_BUDGET_MB": envconfig.mem_budget_mb,
+            "REPRO_BREAKER_THRESHOLD": envconfig.breaker_threshold,
+            "REPRO_BREAKER_BACKOFF": envconfig.breaker_backoff_s,
+            "REPRO_DISK_MIN_MB": envconfig.disk_min_mb,
+            "REPRO_SHM_MIN_MB": envconfig.shm_min_mb,
         }
         for name, accessor in cases.items():
             monkeypatch.setenv(name, "garbage")
