@@ -151,6 +151,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "pick for this host)",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep-service daemon: accept cell jobs over a local "
+        "HTTP/JSON API with a durable journal, admission control, and "
+        "graceful SIGTERM drain",
+    )
+    serve_p.add_argument(
+        "--host", default=None,
+        help="bind address (default REPRO_SERVICE_HOST or 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=None,
+        help="bind port; 0 picks an ephemeral port (default "
+        "REPRO_SERVICE_PORT or 7733)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the shared engine (default REPRO_JOBS "
+        "or the CPU count)",
+    )
+    serve_p.add_argument(
+        "--queue-max", type=int, default=None,
+        help="admission queue bound; submissions past it get 429 "
+        "(default REPRO_SERVICE_QUEUE_MAX or 64)",
+    )
+    serve_p.add_argument(
+        "--drain-s", type=float, default=None,
+        help="seconds SIGTERM waits for in-flight jobs before exiting "
+        "(default REPRO_SERVICE_DRAIN_S or 30)",
+    )
+    serve_p.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="default per-job queue TTL in seconds; 0 disables (default "
+        "REPRO_SERVICE_DEADLINE_S or no TTL)",
+    )
+    serve_p.add_argument(
+        "--service-dir", default=None,
+        help="directory for the job journal (default REPRO_SERVICE_DIR "
+        "or <cache dir>/service)",
+    )
+    serve_p.add_argument(
+        "--portfile", default=None,
+        help="write the bound port here once listening (atomic rename; "
+        "pairs with --port 0 for race-free scripted startup)",
+    )
+
     gen = sub.add_parser("gen-trace", help="generate and save a workload trace")
     gen.add_argument("workload", choices=WORKLOAD_ORDER)
     gen.add_argument("path", help="output file (.npz binary or .trace text)")
@@ -426,6 +472,22 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import ServiceDaemon
+
+    daemon = ServiceDaemon(
+        host=args.host,
+        port=args.port,
+        service_dir=args.service_dir,
+        queue_max=args.queue_max,
+        drain_s=args.drain_s,
+        deadline_s=args.deadline_s,
+        jobs=args.jobs,
+        portfile=args.portfile,
+    )
+    return daemon.serve()
+
+
 def _cmd_gen_trace(args: argparse.Namespace) -> int:
     from .traces import file_io
     from .traces.synthetic import generate_trace
@@ -470,6 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults_sweep(args)
     if args.command == "perf":
         return _cmd_perf_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "gen-trace":
         return _cmd_gen_trace(args)
     if args.command == "analyze":

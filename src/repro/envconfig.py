@@ -36,6 +36,17 @@ Knobs parsed here:
                        (int >= 0; 64; 0 disables)
 ``REPRO_SHM_MIN_MB``   minimum free /dev/shm headroom, MiB
                        (int >= 0; 16; 0 disables)
+``REPRO_SERVICE_HOST`` sweep-service bind address (``127.0.0.1``)
+``REPRO_SERVICE_PORT`` sweep-service TCP port (int >= 0; 7733; 0 = ephemeral)
+``REPRO_SERVICE_QUEUE_MAX`` admission-queue bound before load shedding
+                       (int >= 1; 64)
+``REPRO_SERVICE_DRAIN_S`` SIGTERM drain deadline, seconds (float >= 0; 30)
+``REPRO_SERVICE_DEADLINE_S`` default per-job queue TTL, seconds
+                       (float >= 0; 0 disables)
+``REPRO_SERVICE_RETRY_AFTER_S`` Retry-After hint on shed responses, seconds
+                       (float >= 0; 2)
+``REPRO_SERVICE_DIR``  service state directory (journal, portfile;
+                       ``$REPRO_CACHE_DIR/service``)
 =====================  =========================================================
 """
 
@@ -263,6 +274,68 @@ def shm_min_mb() -> int:
     default 16).  Below it the trace plane stops publishing segments and
     workers synthesize in-process; ``0`` disables the check."""
     return env_int("REPRO_SHM_MIN_MB", 16, minimum=0)
+
+
+# -- sweep-service knobs -----------------------------------------------------
+
+
+def service_host() -> str:
+    """Sweep-service bind address (``REPRO_SERVICE_HOST``, default loopback).
+
+    The daemon speaks an unauthenticated local protocol, so the default
+    binds loopback only; point it elsewhere deliberately.
+    """
+    raw = os.environ.get("REPRO_SERVICE_HOST")
+    if raw is None or not raw.strip():
+        return "127.0.0.1"
+    return raw.strip()
+
+
+def service_port() -> int:
+    """Sweep-service TCP port (``REPRO_SERVICE_PORT``, default 7733).
+
+    ``0`` asks the OS for an ephemeral port — useful with a portfile so
+    tests and scripts never race for a fixed port.
+    """
+    return env_int("REPRO_SERVICE_PORT", 7733, minimum=0)
+
+
+def service_queue_max() -> int:
+    """Admission-queue bound before the service sheds load with 429
+    (``REPRO_SERVICE_QUEUE_MAX``, default 64)."""
+    return env_int("REPRO_SERVICE_QUEUE_MAX", 64, minimum=1)
+
+
+def service_drain_s() -> float:
+    """SIGTERM drain deadline in seconds (``REPRO_SERVICE_DRAIN_S``,
+    default 30).  In-flight jobs get this long to finish before the
+    daemon exits and leaves them journaled for the next start's replay."""
+    return env_float("REPRO_SERVICE_DRAIN_S", 30.0, minimum=0.0)
+
+
+def service_deadline_s() -> Optional[float]:
+    """Default per-job queue TTL in seconds (``REPRO_SERVICE_DEADLINE_S``).
+
+    A job still queued past its TTL fails with a classified, retryable
+    deadline error instead of occupying the queue forever.  Unset or
+    ``0`` disables the default (per-request ``deadline_s`` still applies).
+    """
+    return env_float("REPRO_SERVICE_DEADLINE_S", 0.0, minimum=0.0) or None
+
+
+def service_retry_after_s() -> float:
+    """``Retry-After`` hint on shed responses, seconds
+    (``REPRO_SERVICE_RETRY_AFTER_S``, default 2)."""
+    return env_float("REPRO_SERVICE_RETRY_AFTER_S", 2.0, minimum=0.0)
+
+
+def service_dir() -> Path:
+    """Service state directory — job journal and portfile
+    (``REPRO_SERVICE_DIR``, default ``<cache dir>/service``)."""
+    raw = os.environ.get("REPRO_SERVICE_DIR")
+    if raw:
+        return Path(raw)
+    return cache_dir() / "service"
 
 
 def kernel_cc() -> Optional[str]:

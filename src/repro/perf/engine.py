@@ -58,6 +58,7 @@ experiment N's table renders.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import time
 from concurrent.futures import FIRST_COMPLETED, CancelledError, Future
@@ -167,31 +168,29 @@ class EngineStats:
     pressure_events: int = 0
 
     def reset(self) -> None:
-        self.cache_hits = 0
-        self.simulated = 0
-        self.deduplicated = 0
-        self.worker_crashes = 0
-        self.cell_timeouts = 0
-        self.worker_retries = 0
-        self.serial_fallback_cells = 0
-        self.pool_reuses = 0
-        self.pool_recycles = 0
-        self.prefetched = 0
-        self.inflight_hits = 0
-        self.cross_exp_dedup = 0
-        self.batched_cells = 0
-        self.batch_dispatches = 0
-        self.planner_serial_picks = 0
-        self.planner_pool_picks = 0
-        self.planner_batch_picks = 0
-        self.kernel_python_picks = 0
-        self.kernel_numpy_picks = 0
-        self.kernel_compiled_picks = 0
-        self.watchdog_stalls = 0
-        self.breaker_opens = 0
-        self.breaker_probes = 0
-        self.breaker_closes = 0
-        self.pressure_events = 0
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the counters as they stand now.
+
+        Long-lived processes (the sweep service) take one before a job
+        and diff with :meth:`since` after, so each job reports its own
+        numbers instead of the process-lifetime accumulation.
+        """
+        return dataclasses.replace(self)
+
+    def since(self, baseline: "EngineStats") -> "EngineStats":
+        """The counter deltas accumulated since ``baseline`` was taken."""
+        return EngineStats(**{
+            field.name: getattr(self, field.name)
+            - getattr(baseline, field.name)
+            for field in dataclasses.fields(self)
+        })
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON payloads)."""
+        return dataclasses.asdict(self)
 
     def cache_hit_rate(self) -> Optional[float]:
         """Cache hits as a fraction of resolved cells (None before any)."""
@@ -284,6 +283,38 @@ class EngineStats:
 
 #: Counters accumulated across every ``run_cells`` call in this process.
 STATS = EngineStats()
+
+
+class ScopedStats:
+    """Holder filled by :func:`scoped_stats` when its block exits."""
+
+    def __init__(self) -> None:
+        #: The :class:`EngineStats` delta for the block (None until exit).
+        self.delta: Optional[EngineStats] = None
+
+
+@contextmanager
+def scoped_stats():
+    """Measure the :data:`STATS` delta across a block.
+
+    ``STATS`` is process-global on purpose (pool workers, breakers, and
+    the profiler all feed it), so a long-lived process running many jobs
+    would otherwise report merged numbers for every job after the first.
+    This scopes a reading without resetting anything::
+
+        with scoped_stats() as scope:
+            runner.run_cells(specs)
+        scope.delta.simulated  # this block's count alone
+
+    Scopes nest and overlap safely — each holds its own baseline copy
+    and never mutates the live counters.
+    """
+    scope = ScopedStats()
+    baseline = STATS.snapshot()
+    try:
+        yield scope
+    finally:
+        scope.delta = STATS.since(baseline)
 
 
 def _resilience_sink(kind: str) -> None:

@@ -1,0 +1,128 @@
+"""A small stdlib HTTP client for the sweep service.
+
+Used by the tests and the CI smoke job; handy for scripts too.  Every
+call opens a fresh connection (the daemon speaks ``Connection: close``),
+returns ``(status, payload)`` with the JSON body already decoded, and
+raises :class:`ServiceUnreachable` when the daemon cannot be reached at
+all — so "the daemon said no" (classified 4xx/5xx payload) and "there is
+no daemon" (connection refused, mid-restart) stay distinguishable.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+Response = Tuple[int, Dict[str, object]]
+
+
+class ServiceUnreachable(ReproError):
+    """No daemon answered at host:port (refused, reset, or timed out)."""
+
+    category = "resource"
+    retryable = True
+
+
+class ServiceClient:
+    """Talk to one daemon at ``host:port``.
+
+    ``timeout_s`` bounds every socket operation, so a wedged daemon
+    surfaces as :class:`ServiceUnreachable` instead of a hung client.
+    Waiting submissions (``wait=True``) block server-side for the whole
+    job, so give those a timeout comfortably above the expected runtime.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7733,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, object]] = None) -> Response:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ServiceUnreachable(
+                f"service at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            doc = {"error": f"non-JSON response: {raw[:200]!r}"}
+        if not isinstance(doc, dict):
+            doc = {"value": doc}
+        return response.status, doc
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(self, params: Dict[str, object], wait: bool = False,
+               deadline_s: Optional[float] = None) -> Response:
+        body = dict(params)
+        if wait:
+            body["wait"] = True
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self.request("POST", "/jobs", body)
+
+    def job(self, key: str) -> Response:
+        return self.request("GET", f"/jobs/{key}")
+
+    def healthz(self) -> Response:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> Response:
+        return self.request("GET", "/stats")
+
+    # -- polling helpers -----------------------------------------------------
+
+    def wait_until_up(self, timeout_s: float = 10.0,
+                      poll_s: float = 0.05) -> Dict[str, object]:
+        """Poll ``/healthz`` until the daemon answers; returns the
+        snapshot.  Raises :class:`ServiceUnreachable` on timeout."""
+        deadline = time.monotonic() + timeout_s
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                _status, doc = self.healthz()
+                return doc
+            except ServiceUnreachable as exc:
+                last = exc
+                time.sleep(poll_s)
+        raise ServiceUnreachable(
+            f"service at {self.host}:{self.port} not up after "
+            f"{timeout_s:g}s: {last}"
+        )
+
+    def wait_for_job(self, key: str, timeout_s: float = 120.0,
+                     poll_s: float = 0.1) -> Dict[str, object]:
+        """Poll ``GET /jobs/<key>`` until the job is terminal; returns
+        the final job document.  Raises :class:`ServiceUnreachable` on
+        timeout — the job may well still be running server-side."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            status, doc = self.job(key)
+            if status == 200 and doc.get("state") in ("done", "failed"):
+                return doc
+            time.sleep(poll_s)
+        raise ServiceUnreachable(
+            f"job {key} not terminal after {timeout_s:g}s"
+        )

@@ -1,0 +1,197 @@
+"""Job state machine, request-layer spec construction, and service stats.
+
+A *job* wraps one :class:`~repro.perf.cellspec.CellSpec` built from the
+client's JSON request.  Its identity is :func:`~repro.perf.cellspec.
+cache_key` of that spec — the same content hash the result cache and the
+journal use — which is what makes request-layer dedup, crash replay, and
+cache reuse line up on one key with no translation tables.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import pickle
+import time
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
+
+from ..config import SystemConfig
+from ..core import schemes
+from ..errors import ConfigError
+from ..perf.cellspec import CellSpec, cache_key
+from ..traces.profiles import WORKLOAD_ORDER
+
+#: Job lifecycle states (mirrors the journal's).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: The request fields a job spec is built from, with their types.
+_PARAM_FIELDS = {
+    "bench": str,
+    "length": int,
+    "scheme": str,
+    "cores": int,
+    "seed": int,
+}
+
+_PARAM_DEFAULTS = {"scheme": "baseline", "cores": 2, "seed": 1}
+
+
+def validate_params(payload: Dict[str, object]) -> Dict[str, object]:
+    """Normalize a submission payload into canonical spec params.
+
+    Raises :class:`~repro.errors.ConfigError` (category ``config``,
+    not retryable) on anything malformed — surfaced to the client as a
+    400 with the same taxonomy fields every other failure carries.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(f"job payload must be an object, got "
+                          f"{type(payload).__name__}")
+    params: Dict[str, object] = dict(_PARAM_DEFAULTS)
+    params.update({
+        key: payload[key] for key in _PARAM_FIELDS if key in payload
+    })
+    missing = [key for key in _PARAM_FIELDS if key not in params]
+    if missing:
+        raise ConfigError(f"job payload missing {missing}")
+    for key, kind in _PARAM_FIELDS.items():
+        value = params[key]
+        if kind is int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(
+                    f"job field {key!r} must be an integer, got {value!r}"
+                )
+        elif not isinstance(value, kind):
+            raise ConfigError(
+                f"job field {key!r} must be a string, got {value!r}"
+            )
+    if params["bench"] not in WORKLOAD_ORDER:
+        raise ConfigError(
+            f"unknown workload {params['bench']!r}; "
+            f"known: {list(WORKLOAD_ORDER)}"
+        )
+    if params["length"] < 1:
+        raise ConfigError(f"job field 'length' must be >= 1, "
+                          f"got {params['length']}")
+    if params["cores"] < 1:
+        raise ConfigError(f"job field 'cores' must be >= 1, "
+                          f"got {params['cores']}")
+    schemes.by_name(params["scheme"])  # raises ConfigError when unknown
+    return params
+
+
+def build_spec(params: Dict[str, object]) -> CellSpec:
+    """The deterministic spec for canonical ``params``.
+
+    Request → spec construction is a pure function of the params dict,
+    so the daemon, a replay after crash, and a verifying client all
+    derive the same spec — and therefore the same sha256 job key.
+    """
+    config = SystemConfig(
+        cores=int(params["cores"]), seed=int(params["seed"])
+    ).with_scheme(schemes.by_name(str(params["scheme"])))
+    return CellSpec(
+        bench=str(params["bench"]), length=int(params["length"]),
+        config=config,
+    )
+
+
+def result_digest(result) -> str:
+    """The byte-identity digest of one simulation result.
+
+    Same contract as the kernel/chaos suites: sha256 over the pickled
+    :class:`~repro.core.results.SimulationResult`, pinned to one pickle
+    protocol so daemon and verifier agree across processes.
+    """
+    return hashlib.sha256(
+        pickle.dumps(result, protocol=4)
+    ).hexdigest()
+
+
+@dataclass
+class Job:
+    """One accepted job and everything the API serves about it."""
+
+    key: str
+    params: Dict[str, object]
+    spec: CellSpec
+    state: str = QUEUED
+    accepted_at: float = field(default_factory=time.time)
+    #: Seconds the job may wait in the queue before expiring (None: no TTL).
+    deadline_s: Optional[float] = None
+    #: True when this job was re-enqueued from the journal on startup.
+    replayed: bool = False
+    #: Result payload once DONE (digest, cpi, engine delta, ...).
+    result: Optional[Dict[str, object]] = None
+    #: Classified error payload once FAILED (message, category, retryable).
+    error: Optional[Dict[str, object]] = None
+    #: Set (threadsafe, from the executor) when the job reaches DONE/FAILED.
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @classmethod
+    def from_params(cls, params: Dict[str, object],
+                    deadline_s: Optional[float] = None,
+                    replayed: bool = False) -> "Job":
+        spec = build_spec(params)
+        return cls(key=cache_key(spec), params=params, spec=spec,
+                   deadline_s=deadline_s, replayed=replayed)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_s is None:
+            return False
+        return (now if now is not None else time.time()) \
+            > self.accepted_at + self.deadline_s
+
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def view(self) -> Dict[str, object]:
+        """The JSON document ``GET /jobs/<key>`` serves."""
+        doc: Dict[str, object] = {
+            "job": self.key,
+            "state": self.state,
+            "params": self.params,
+            "accepted_at": self.accepted_at,
+            "replayed": self.replayed,
+        }
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+@dataclass
+class ServiceStats:
+    """Request-layer counters, the service twin of ``EngineStats``."""
+
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Jobs that out-waited their queue TTL and never ran.
+    expired: int = 0
+    #: Submissions that joined an already-queued/running identical spec.
+    dedup_hits: int = 0
+    #: Submissions shed because the admission queue was full (429).
+    shed_queue_full: int = 0
+    #: Submissions shed because the engine was actively degraded (503).
+    shed_degraded: int = 0
+    #: Submissions shed during the drain window (503).
+    shed_draining: int = 0
+    #: Interrupted jobs re-enqueued from the journal on startup.
+    journal_replays: int = 0
+    #: Torn journal lines skipped during startup replay.
+    journal_torn_lines: int = 0
+
+    def shed_total(self) -> int:
+        return self.shed_queue_full + self.shed_degraded + self.shed_draining
+
+    def as_dict(self) -> Dict[str, int]:
+        doc = {f.name: getattr(self, f.name) for f in fields(self)}
+        doc["shed_total"] = self.shed_total()
+        return doc

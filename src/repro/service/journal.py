@@ -1,0 +1,186 @@
+"""Durable job journal: the daemon's crash-safe source of truth.
+
+One append-only JSONL file (``journal.jsonl`` in the service directory)
+records every job state transition the daemon commits to:
+
+.. code-block:: json
+
+    {"t": 1754550000.1, "job": "<sha256>", "state": "accepted",
+     "params": {"bench": "mcf", "length": 800, "scheme": "baseline",
+                "cores": 2, "seed": 1}, "deadline_s": null}
+    {"t": 1754550000.2, "job": "<sha256>", "state": "running"}
+    {"t": 1754550001.9, "job": "<sha256>", "state": "done",
+     "result": {"digest": "...", "cpi": 1.91}}
+
+Jobs are keyed by :func:`repro.perf.cellspec.cache_key` — the same
+sha256 content hash the result cache uses — so a replayed job finds its
+finished cells in the cache by construction.
+
+Durability contract:
+
+- Every append is flushed **and fsync'd** before the daemon acts on the
+  transition, so the journal never claims less than what happened: a
+  job observed ``accepted`` by a client is on disk before the 202 goes
+  out, and a daemon killed between ``running`` and ``done`` replays as
+  interrupted.
+- :meth:`JobJournal.replay` folds the line sequence into a final state
+  per job, tolerating a torn trailing line (a crash can cut an append
+  mid-write; the torn tail is counted and skipped, never fatal).
+- :meth:`JobJournal.compact` atomically rewrites the file keeping only
+  *non-terminal* jobs (tempfile + rename + fsync, the cache's scheme).
+  Terminal results live in the content-addressed result cache; the
+  journal only needs to remember what must be re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+_LOG = logging.getLogger("repro.service")
+
+#: Journal states, in lifecycle order.
+STATES = ("accepted", "running", "done", "failed")
+
+#: States that need replay after a crash (the job never finished).
+LIVE_STATES = frozenset({"accepted", "running"})
+
+#: States that end a job's lifecycle.
+TERMINAL_STATES = frozenset({"done", "failed"})
+
+
+class JobJournal:
+    """Append-only, fsync'd journal of job state transitions.
+
+    Thread-safe: the daemon appends from both its event-loop thread
+    (``accepted``/``running``) and its executor thread
+    (``done``/``failed``).
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh = None
+        #: Torn/garbage lines skipped by the last :meth:`replay`.
+        self.torn_lines = 0
+
+    # -- writes --------------------------------------------------------------
+
+    def append(self, job: str, state: str, **fields: object) -> None:
+        """Durably record one transition (flushed + fsync'd before return)."""
+        if state not in STATES:
+            raise ValueError(f"unknown journal state {state!r}")
+        record = {"t": time.time(), "job": job, "state": state}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- recovery ------------------------------------------------------------
+
+    def replay(self) -> Dict[str, Dict[str, object]]:
+        """Fold the journal into its final record per job, oldest first.
+
+        Each value carries the latest ``state`` plus the union of every
+        field seen for that job (so the ``params`` from ``accepted``
+        survive into the ``running``/``done`` view).  Unreadable lines —
+        a torn tail from a crash mid-append, or garbage — are counted in
+        :attr:`torn_lines` and skipped.
+        """
+        self.torn_lines = 0
+        jobs: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return jobs
+        except OSError as exc:
+            _LOG.warning("journal %s unreadable (%s); starting empty",
+                         self.path, exc)
+            return jobs
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.torn_lines += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or not isinstance(record.get("job"), str)
+                or record.get("state") not in STATES
+            ):
+                self.torn_lines += 1
+                continue
+            view = jobs.setdefault(record["job"], {})
+            view.update(record)
+        if self.torn_lines:
+            _LOG.warning("journal %s: skipped %d torn line(s)",
+                         self.path, self.torn_lines)
+        return jobs
+
+    def live_jobs(self) -> Dict[str, Dict[str, object]]:
+        """The replayed jobs that never reached a terminal state."""
+        return {
+            job: view
+            for job, view in self.replay().items()
+            if view.get("state") in LIVE_STATES
+        }
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal keeping only live jobs.
+
+        Returns the number of jobs retained.  Called on a clean drain so
+        the journal does not grow across daemon lifetimes; after a full
+        drain it is typically empty.  A job retained here replays as
+        ``accepted`` next start (its execution never completed).
+        """
+        live = self.live_jobs()
+        self.close()
+        if not live:
+            try:
+                self.path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for job, view in live.items():
+                    record = dict(view)
+                    # Demote to accepted: whatever progress the run had
+                    # made is gone with the process; replay restarts it.
+                    record["state"] = "accepted"
+                    fh.write(json.dumps(record, sort_keys=True, default=str)
+                             + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(live)

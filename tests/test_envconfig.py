@@ -23,6 +23,10 @@ def _clean_env(monkeypatch):
         "REPRO_HEARTBEAT_S", "REPRO_MEM_BUDGET_MB",
         "REPRO_BREAKER_THRESHOLD", "REPRO_BREAKER_BACKOFF",
         "REPRO_DISK_MIN_MB", "REPRO_SHM_MIN_MB",
+        "REPRO_SERVICE_HOST", "REPRO_SERVICE_PORT",
+        "REPRO_SERVICE_QUEUE_MAX", "REPRO_SERVICE_DRAIN_S",
+        "REPRO_SERVICE_DEADLINE_S", "REPRO_SERVICE_RETRY_AFTER_S",
+        "REPRO_SERVICE_DIR",
     ):
         monkeypatch.delenv(name, raising=False)
 
@@ -217,6 +221,43 @@ class TestAccessors:
         monkeypatch.setenv("REPRO_STATE_PLANE", "1")
         assert envconfig.state_plane_enabled() is True
 
+    def test_service_endpoint_knobs(self, monkeypatch, tmp_path):
+        assert envconfig.service_host() == "127.0.0.1"
+        assert envconfig.service_port() == 7733
+        monkeypatch.setenv("REPRO_SERVICE_HOST", "  0.0.0.0  ")
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "0")  # 0 = ephemeral
+        assert envconfig.service_host() == "0.0.0.0"
+        assert envconfig.service_port() == 0
+        monkeypatch.setenv("REPRO_SERVICE_PORT", "-1")
+        with pytest.raises(ValueError, match="REPRO_SERVICE_PORT must be"):
+            envconfig.service_port()
+        monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "svc"))
+        assert envconfig.service_dir() == tmp_path / "svc"
+
+    def test_service_admission_knobs(self, monkeypatch):
+        assert envconfig.service_queue_max() == 64
+        assert envconfig.service_drain_s() == 30.0
+        assert envconfig.service_retry_after_s() == 2.0
+        monkeypatch.setenv("REPRO_SERVICE_QUEUE_MAX", "0")
+        with pytest.raises(
+            ValueError, match="REPRO_SERVICE_QUEUE_MAX must be >= 1"
+        ):
+            envconfig.service_queue_max()
+        monkeypatch.setenv("REPRO_SERVICE_DRAIN_S", "1.5")
+        assert envconfig.service_drain_s() == 1.5
+
+    def test_service_deadline_zero_means_no_ttl(self, monkeypatch):
+        assert envconfig.service_deadline_s() is None
+        monkeypatch.setenv("REPRO_SERVICE_DEADLINE_S", "0")
+        assert envconfig.service_deadline_s() is None
+        monkeypatch.setenv("REPRO_SERVICE_DEADLINE_S", "45")
+        assert envconfig.service_deadline_s() == 45.0
+        monkeypatch.setenv("REPRO_SERVICE_DEADLINE_S", "-3")
+        with pytest.raises(
+            ValueError, match="REPRO_SERVICE_DEADLINE_S must be"
+        ):
+            envconfig.service_deadline_s()
+
 
 class TestConsumersDelegate:
     """The old per-module parsers now route through envconfig."""
@@ -259,6 +300,11 @@ class TestConsumersDelegate:
             "REPRO_BREAKER_BACKOFF": envconfig.breaker_backoff_s,
             "REPRO_DISK_MIN_MB": envconfig.disk_min_mb,
             "REPRO_SHM_MIN_MB": envconfig.shm_min_mb,
+            "REPRO_SERVICE_PORT": envconfig.service_port,
+            "REPRO_SERVICE_QUEUE_MAX": envconfig.service_queue_max,
+            "REPRO_SERVICE_DRAIN_S": envconfig.service_drain_s,
+            "REPRO_SERVICE_DEADLINE_S": envconfig.service_deadline_s,
+            "REPRO_SERVICE_RETRY_AFTER_S": envconfig.service_retry_after_s,
         }
         for name, accessor in cases.items():
             monkeypatch.setenv(name, "garbage")

@@ -1,0 +1,619 @@
+"""The sweep service: journal durability, admission, dedup, drain, replay.
+
+In-process tests run the real daemon (real sockets, real engine) on an
+ephemeral port inside a background thread; the chaos class kills and
+restarts actual ``repro serve`` subprocesses to prove the crash-recovery
+contract end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro import resilience
+from repro.errors import ConfigError
+from repro.perf import engine
+from repro.perf.cache import ResultCache
+from repro.perf.cellspec import simulate_cell
+from repro.service import ServiceClient, ServiceDaemon
+from repro.service import daemon as daemon_mod
+from repro.service.admission import AdmissionController
+from repro.service.client import ServiceUnreachable
+from repro.service.jobs import (
+    Job,
+    ServiceStats,
+    build_spec,
+    result_digest,
+    validate_params,
+)
+from repro.service.journal import JobJournal
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SMALL = {"bench": "mcf", "length": 200, "scheme": "baseline",
+         "cores": 2, "seed": 1}
+
+
+def small_params(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return params
+
+
+# ---------------------------------------------------------------------------
+# journal
+
+
+class TestJobJournal:
+    def test_append_replay_roundtrip_unions_fields(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.append("k1", "accepted", params=SMALL, deadline_s=None)
+        journal.append("k1", "running")
+        journal.append("k2", "accepted", params=small_params(seed=2))
+        journal.close()
+
+        views = JobJournal(tmp_path / "j.jsonl").replay()
+        assert set(views) == {"k1", "k2"}
+        # Latest state wins, but the accepted-record fields survive.
+        assert views["k1"]["state"] == "running"
+        assert views["k1"]["params"] == SMALL
+        assert views["k2"]["state"] == "accepted"
+
+    def test_torn_tail_is_counted_and_skipped(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.append("k1", "accepted", params=SMALL)
+        journal.append("k1", "done", result={"digest": "d"})
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": 1, "job": "k2", "state": "acc')  # torn append
+
+        views = journal.replay()
+        assert journal.torn_lines == 1
+        assert set(views) == {"k1"}
+        assert views["k1"]["state"] == "done"
+
+    def test_garbage_state_is_torn_not_fatal(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.append("k1", "accepted", params=SMALL)
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"job": "k1", "state": "exploded"}) + "\n")
+        assert journal.replay()["k1"]["state"] == "accepted"
+        assert journal.torn_lines == 1
+
+    def test_live_jobs_excludes_terminal(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.append("done-job", "accepted", params=SMALL)
+        journal.append("done-job", "done", result={})
+        journal.append("failed-job", "accepted", params=SMALL)
+        journal.append("failed-job", "failed", error={})
+        journal.append("stuck-job", "running", params=SMALL)
+        assert set(journal.live_jobs()) == {"stuck-job"}
+
+    def test_compact_demotes_live_and_drops_terminal(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.append("finished", "accepted", params=SMALL)
+        journal.append("finished", "done", result={"digest": "d"})
+        journal.append("interrupted", "accepted",
+                       params=small_params(seed=9))
+        journal.append("interrupted", "running")
+        assert journal.compact() == 1
+
+        views = journal.replay()
+        assert set(views) == {"interrupted"}
+        # Demoted: whatever progress the run had made died with it.
+        assert views["interrupted"]["state"] == "accepted"
+        assert views["interrupted"]["params"] == small_params(seed=9)
+
+    def test_compact_with_no_live_jobs_removes_file(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.append("k", "accepted", params=SMALL)
+        journal.append("k", "done", result={})
+        assert journal.compact() == 0
+        assert not journal.path.exists()
+
+    def test_replay_of_missing_journal_is_empty(self, tmp_path):
+        journal = JobJournal(tmp_path / "never-written.jsonl")
+        assert journal.replay() == {}
+        assert journal.compact() == 0
+
+    def test_unknown_state_append_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown journal state"):
+            JobJournal(tmp_path / "j.jsonl").append("k", "paused")
+
+
+# ---------------------------------------------------------------------------
+# params / job identity
+
+
+class TestValidateParams:
+    def test_defaults_applied(self):
+        params = validate_params({"bench": "mcf", "length": 100})
+        assert params == {"bench": "mcf", "length": 100,
+                          "scheme": "baseline", "cores": 2, "seed": 1}
+
+    def test_same_params_same_key(self):
+        a = Job.from_params(validate_params(small_params()))
+        b = Job.from_params(validate_params(small_params()))
+        c = Job.from_params(validate_params(small_params(seed=2)))
+        assert a.key == b.key != c.key
+
+    @pytest.mark.parametrize("payload,match", [
+        ({"length": 100}, "missing"),
+        ({"bench": "mcf"}, "missing"),
+        ({"bench": "nosuch", "length": 100}, "unknown workload"),
+        ({"bench": "mcf", "length": "long"}, "must be an integer"),
+        ({"bench": "mcf", "length": True}, "must be an integer"),
+        ({"bench": "mcf", "length": 0}, "must be >= 1"),
+        ({"bench": "mcf", "length": 100, "cores": 0}, "must be >= 1"),
+        ({"bench": 7, "length": 100}, "must be a string"),
+    ])
+    def test_malformed_payloads_raise_config_error(self, payload, match):
+        with pytest.raises(ConfigError, match=match):
+            validate_params(payload)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ConfigError):
+            validate_params(small_params(scheme="nosuch"))
+
+
+# ---------------------------------------------------------------------------
+# admission
+
+
+class TestAdmission:
+    def test_accepts_under_bound_when_healthy(self):
+        ctrl = AdmissionController(queue_max=2, retry_after_s=1.0,
+                                   stats=ServiceStats())
+        assert ctrl.check(queue_depth=0, draining=False) is None
+        assert ctrl.check(queue_depth=1, draining=False) is None
+
+    def test_queue_full_sheds_429(self):
+        stats = ServiceStats()
+        ctrl = AdmissionController(queue_max=2, retry_after_s=3.0,
+                                   stats=stats)
+        shed = ctrl.check(queue_depth=2, draining=False)
+        assert shed.status == 429
+        payload = shed.payload()
+        assert payload["retryable"] is True
+        assert payload["category"] == "resource"
+        assert payload["retry_after_s"] == 3.0
+        assert stats.shed_queue_full == 1
+
+    def test_draining_sheds_503(self):
+        stats = ServiceStats()
+        ctrl = AdmissionController(queue_max=2, stats=stats)
+        shed = ctrl.check(queue_depth=0, draining=True)
+        assert shed.status == 503
+        assert shed.payload()["category"] == "execution"
+        assert stats.shed_draining == 1
+
+    def test_open_breaker_sheds_503(self):
+        stats = ServiceStats()
+        ctrl = AdmissionController(queue_max=2, stats=stats)
+        resilience.breaker.breaker("kernel").trip("service admission test")
+        try:
+            shed = ctrl.check(queue_depth=0, draining=False)
+        finally:
+            resilience.reset_all()
+        assert shed.status == 503
+        assert "breaker:kernel" in shed.error
+        assert shed.payload()["retryable"] is True
+        assert stats.shed_degraded == 1
+
+    def test_queue_max_below_one_rejected(self):
+        with pytest.raises(ValueError, match="queue_max must be >= 1"):
+            AdmissionController(queue_max=0)
+
+
+# ---------------------------------------------------------------------------
+# engine stats scoping (daemon satellite: per-job deltas)
+
+
+class TestScopedStats:
+    def test_sequential_scopes_report_independent_deltas(self, tmp_path):
+        runner = engine.CellRunner(
+            jobs=1, cache=ResultCache(tmp_path / "c", enabled=True)
+        )
+        spec = build_spec(validate_params(small_params()))
+
+        with engine.scoped_stats() as first:
+            runner.run_cells([spec])
+        with engine.scoped_stats() as second:
+            runner.run_cells([spec])
+
+        assert first.delta.simulated == 1
+        assert first.delta.cache_hits == 0
+        # Same spec again: pure cache hit, and the second scope does not
+        # inherit the first run's counters.
+        assert second.delta.simulated == 0
+        assert second.delta.cache_hits == 1
+        # The global accumulator still has both (scopes never reset it).
+        assert engine.STATS.simulated >= 1
+        assert engine.STATS.cache_hits >= 1
+
+    def test_snapshot_since_field_wise(self):
+        baseline = engine.STATS.snapshot()
+        engine.STATS.simulated += 3
+        engine.STATS.cache_hits += 1
+        delta = engine.STATS.since(baseline)
+        assert delta.simulated == 3
+        assert delta.cache_hits == 1
+        assert delta.deduplicated == 0
+
+
+# ---------------------------------------------------------------------------
+# cache writer lifecycle (daemon satellite: flush + restart after drain)
+
+
+class TestCacheWriterLifecycle:
+    def test_close_writer_joins_thread_and_persists(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", enabled=True)
+        spec = build_spec(validate_params(small_params()))
+        result = simulate_cell(spec)
+        cache.store_async("some-key", result)
+        writer = cache._writer
+        assert writer is not None and writer.alive()
+        cache.close_writer()
+        assert cache._writer is None
+        assert not writer.alive()
+        assert cache.load("some-key") is not None
+
+    def test_store_async_restarts_writer_after_close(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", enabled=True)
+        spec = build_spec(validate_params(small_params()))
+        result = simulate_cell(spec)
+        cache.store_async("k1", result)
+        cache.close_writer()
+        # A drained daemon must be able to take new work again.
+        cache.store_async("k2", result)
+        assert cache._writer is not None and cache._writer.alive()
+        cache.flush()
+        assert cache.load("k2") is not None
+        cache.close_writer()
+
+    def test_close_writer_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", enabled=True)
+        cache.close_writer()
+        cache.close_writer()
+
+
+# ---------------------------------------------------------------------------
+# in-process daemon integration
+
+
+@contextmanager
+def running_daemon(service_dir, **kwargs):
+    kwargs.setdefault("drain_s", 10.0)
+    daemon = ServiceDaemon(port=0, service_dir=service_dir, **kwargs)
+    thread = threading.Thread(target=daemon.serve, daemon=True)
+    thread.start()
+    assert daemon.started.wait(10), "daemon never came up"
+    client = ServiceClient(port=daemon.bound_port, timeout_s=60)
+    try:
+        yield daemon, client
+    finally:
+        daemon.request_shutdown()
+        thread.join(20)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+
+@contextmanager
+def blocked_execution():
+    """Make daemon job execution block until the caller releases it."""
+    release = threading.Event()
+    started = threading.Event()
+    original = daemon_mod._run_spec
+
+    def _blocking(runner, spec):
+        started.set()
+        assert release.wait(30), "test never released the blocked job"
+        return original(runner, spec)
+
+    daemon_mod._run_spec = _blocking
+    try:
+        yield started, release
+    finally:
+        release.set()
+        daemon_mod._run_spec = original
+
+
+class TestDaemonIntegration:
+    def test_submit_wait_serves_byte_identical_result(self, tmp_path):
+        params = validate_params(small_params())
+        want = result_digest(simulate_cell(build_spec(params)))
+        with running_daemon(tmp_path / "svc") as (_daemon, client):
+            status, doc = client.submit(small_params(), wait=True)
+        assert status == 200
+        assert doc["state"] == "done"
+        assert doc["dedup"] is False
+        assert doc["result"]["digest"] == want
+        assert doc["result"]["engine"]["simulated"] == 1
+
+    def test_duplicate_spec_joins_inflight_job(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (daemon, client):
+            with blocked_execution() as (started, release):
+                s1, d1 = client.submit(small_params())
+                assert s1 == 202 and d1["dedup"] is False
+                assert started.wait(10)
+                s2, d2 = client.submit(small_params())
+                assert s2 == 202 and d2["dedup"] is True
+                assert d2["job"] == d1["job"]
+                release.set()
+                final = client.wait_for_job(d1["job"], timeout_s=60)
+            assert final["state"] == "done"
+            assert daemon.stats.accepted == 1
+            assert daemon.stats.dedup_hits == 1
+            # One journal lifecycle, not two.
+            accepted = [
+                line for line in
+                daemon.journal.path.read_text().splitlines()
+                if json.loads(line)["state"] == "accepted"
+            ]
+            assert len(accepted) == 1
+
+    def test_finished_job_dedups_instantly(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (_daemon, client):
+            client.submit(small_params(), wait=True)
+            status, doc = client.submit(small_params())
+            assert status == 200  # terminal already
+            assert doc["dedup"] is True
+            assert doc["result"]["digest"]
+
+    def test_queue_full_sheds_429_with_taxonomy(self, tmp_path):
+        with running_daemon(tmp_path / "svc", queue_max=1) as (
+            daemon, client
+        ):
+            with blocked_execution() as (started, release):
+                client.submit(small_params())
+                assert started.wait(10)
+                # Head-of-line occupies the one admission slot; a second
+                # distinct spec must be shed, classified, retryable.
+                status, doc = client.submit(small_params(seed=5))
+                assert status == 429
+                assert doc["retryable"] is True
+                assert doc["category"] == "resource"
+                assert doc["retry_after_s"] > 0
+                release.set()
+            assert daemon.stats.shed_queue_full == 1
+
+    def test_open_breaker_sheds_503(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (daemon, client):
+            resilience.breaker.breaker("kernel").trip("service test")
+            try:
+                status, doc = client.submit(small_params())
+            finally:
+                resilience.reset_all()
+            assert status == 503
+            assert "breaker:kernel" in doc["error"]
+            assert doc["retryable"] is True
+            assert daemon.stats.shed_degraded == 1
+
+    def test_draining_daemon_sheds_503(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (daemon, client):
+            with blocked_execution() as (started, release):
+                _s, doc = client.submit(small_params())
+                assert started.wait(10)
+                daemon.request_shutdown()
+                deadline = time.monotonic() + 5
+                while not daemon.draining and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                status, shed = client.submit(small_params(seed=6))
+                assert status == 503
+                assert "draining" in shed["error"]
+                assert shed["retryable"] is True
+                release.set()
+        # The in-flight job still finished inside the drain window
+        # (the context manager above joins the drained daemon).
+        assert daemon._jobs[doc["job"]].state == "done"
+        assert daemon.stats.completed == 1
+        assert daemon.stats.shed_draining == 1
+
+    def test_queue_deadline_expires_stale_jobs(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (daemon, client):
+            with blocked_execution() as (started, release):
+                client.submit(small_params())
+                assert started.wait(10)
+                _s, doc = client.submit(small_params(seed=7),
+                                        deadline_s=0.05)
+                time.sleep(0.3)  # out-wait the TTL while blocked
+                release.set()
+                final = client.wait_for_job(doc["job"], timeout_s=30)
+            assert final["state"] == "failed"
+            assert "deadline expired" in final["error"]["error"]
+            assert final["error"]["retryable"] is True
+            assert daemon.stats.expired == 1
+
+    def test_malformed_submissions_get_400(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (_daemon, client):
+            status, doc = client.submit({"bench": "nosuch", "length": 10})
+            assert status == 400
+            assert doc["category"] == "config"
+            assert doc["retryable"] is False
+            status, doc = client.submit(small_params(length="long"))
+            assert status == 400
+            status, _doc = client.submit(
+                small_params(), deadline_s=-1
+            )
+            assert status == 400
+
+    def test_unknown_routes_and_jobs_get_404(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (_daemon, client):
+            assert client.job("no-such-key")[0] == 404
+            assert client.request("GET", "/nope")[0] == 404
+            assert client.request("GET", "/jobs")[0] == 405
+            assert client.request("POST", "/healthz")[0] == 405
+
+    def test_healthz_and_stats_shape(self, tmp_path):
+        with running_daemon(tmp_path / "svc") as (daemon, client):
+            client.submit(small_params(), wait=True)
+            status, health = client.healthz()
+            assert status == 200
+            assert health["status"] == "ok"
+            service = health["service"]
+            assert service["stats"]["completed"] == 1
+            assert service["queue_depth"] == 0
+            assert service["draining"] is False
+            assert service["jobs"]["done"] == 1
+            _status, stats = client.stats()
+            assert stats["service"]["stats"]["accepted"] == 1
+            assert stats["engine"]["simulated"] >= 1
+
+    def test_journal_replay_reexecutes_interrupted_job(self, tmp_path):
+        """A journal left by a dead daemon replays to completion."""
+        params = validate_params(small_params(seed=11))
+        job = Job.from_params(params)
+        want = result_digest(simulate_cell(job.spec))
+        service_dir = tmp_path / "svc"
+        # Simulate the wreckage of a SIGKILLed daemon: accepted+running
+        # on disk, no terminal record.
+        journal = JobJournal(service_dir / "journal.jsonl")
+        journal.append(job.key, "accepted", params=params, deadline_s=None)
+        journal.append(job.key, "running")
+        journal.close()
+
+        with running_daemon(service_dir) as (daemon, client):
+            final = client.wait_for_job(job.key, timeout_s=60)
+            assert final["state"] == "done"
+            assert final["replayed"] is True
+            assert final["result"]["digest"] == want
+            assert daemon.stats.journal_replays == 1
+
+    def test_replay_drops_unparseable_params(self, tmp_path):
+        service_dir = tmp_path / "svc"
+        journal = JobJournal(service_dir / "journal.jsonl")
+        journal.append("bad-job", "accepted",
+                       params={"bench": "nosuch", "length": 1})
+        journal.close()
+        with running_daemon(service_dir) as (daemon, client):
+            assert client.job("bad-job")[0] == 404
+            assert daemon.stats.journal_replays == 0
+
+    def test_client_distinguishes_no_daemon_from_rejection(self):
+        client = ServiceClient(port=1, timeout_s=0.5)  # nothing listens
+        with pytest.raises(ServiceUnreachable):
+            client.healthz()
+
+
+# ---------------------------------------------------------------------------
+# subprocess chaos: SIGKILL replay, concurrent clients, SIGTERM drain
+
+
+@pytest.mark.chaos
+class TestServiceChaos:
+    def _spawn(self, tmp_path, name="svc"):
+        portfile = tmp_path / f"{name}.port"
+        portfile.unlink(missing_ok=True)
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(REPO_ROOT / "src"),
+            REPRO_CACHE_DIR=str(tmp_path / "cache"),
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--portfile", str(portfile),
+             "--service-dir", str(tmp_path / "svc-dir"),
+             "--jobs", "2", "--drain-s", "20"],
+            env=env, cwd=REPO_ROOT, start_new_session=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        deadline = time.monotonic() + 30
+        while not portfile.exists() and time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"daemon died on startup:\n{proc.communicate()[0]}"
+                )
+            time.sleep(0.05)
+        assert portfile.exists(), "daemon never published its port"
+        return proc, ServiceClient(port=int(portfile.read_text()),
+                                   timeout_s=120)
+
+    def test_concurrent_clients_share_one_execution(self, tmp_path):
+        """Three clients, two unique specs; the duplicate joins."""
+        proc, client = self._spawn(tmp_path)
+        try:
+            payloads = [small_params(), small_params(),
+                        small_params(seed=2)]
+            docs = [None] * 3
+
+            def _submit(i):
+                _status, docs[i] = ServiceClient(
+                    port=client.port, timeout_s=120
+                ).submit(payloads[i], wait=True)
+
+            threads = [threading.Thread(target=_submit, args=(i,))
+                       for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            assert all(doc is not None and doc["state"] == "done"
+                       for doc in docs)
+            # The two identical specs converged on one job + one digest.
+            assert docs[0]["job"] == docs[1]["job"]
+            assert docs[0]["result"]["digest"] == docs[1]["result"]["digest"]
+            assert docs[2]["job"] != docs[0]["job"]
+            _status, stats = client.stats()
+            svc = stats["service"]["stats"]
+            assert svc["accepted"] == 2
+            assert svc["dedup_hits"] == 1
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out = proc.communicate(timeout=60)[0]
+        assert proc.returncode == 0, out
+
+    def test_sigkill_midjob_replays_byte_identical(self, tmp_path):
+        """The acceptance chaos drill: SIGKILL mid-job, restart, replay.
+
+        The replayed result must be byte-identical to a clean local
+        computation of the same spec — the service layer cannot perturb
+        simulation semantics even across a crash boundary.
+        """
+        params = validate_params(small_params(length=4000, seed=3))
+        job = Job.from_params(params)
+
+        proc, client = self._spawn(tmp_path, name="first")
+        _status, doc = client.submit(dict(params))
+        assert doc["job"] == job.key
+        # Wait until the job is observably running, then murder the
+        # daemon with no chance to say goodbye.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if client.job(job.key)[1].get("state") == "running":
+                break
+            time.sleep(0.02)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        proc2, client2 = self._spawn(tmp_path, name="second")
+        try:
+            final = client2.wait_for_job(job.key, timeout_s=120)
+            assert final["state"] == "done"
+            assert final["replayed"] is True
+            want = result_digest(simulate_cell(build_spec(params)))
+            assert final["result"]["digest"] == want
+            _s, stats = client2.stats()
+            assert stats["service"]["stats"]["journal_replays"] == 1
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            out = proc2.communicate(timeout=60)[0]
+        assert proc2.returncode == 0, out
+        # A drained daemon leaves no shared-memory segments behind.
+        shm_dir = Path("/dev/shm")
+        if shm_dir.is_dir():
+            leaked = [p for p in shm_dir.glob(f"*_{proc2.pid}_*")]
+            assert not leaked, f"leaked shm segments: {leaked}"
+        # And its journal compacted away the completed work.
+        journal = JobJournal(tmp_path / "svc-dir" / "journal.jsonl")
+        assert journal.live_jobs() == {}
