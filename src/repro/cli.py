@@ -350,6 +350,7 @@ def _cmd_cache(action: str) -> int:
         ["session kernel python picks", STATS.kernel_python_picks],
         ["session kernel numpy picks", STATS.kernel_numpy_picks],
         ["session kernel compiled picks", STATS.kernel_compiled_picks],
+        ["session kernel fused picks", STATS.kernel_fused_picks],
     ]
     print(format_table("result cache", ["metric", "value"], rows))
     return 0
@@ -425,7 +426,8 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     )
     rows = []
     for phase in ("trace_gen", "write_plan", "write_sample", "write_din",
-                  "write_ecp", "write_commit", "bit_kernels"):
+                  "write_fused", "rng_draw", "write_ecp", "write_commit",
+                  "bit_kernels"):
         if phase in prof.seconds:
             rows.append(
                 [phase, f"{prof.seconds[phase]:.3f}", prof.calls[phase],
@@ -444,9 +446,9 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    print("note: write_sample/write_din/write_ecp and bit_kernels are "
-          "inside write_plan; fine timing adds per-call overhead, so "
-          "compare shares, not absolutes.")
+    print("note: write_sample/write_din/write_fused/rng_draw/write_ecp and "
+          "bit_kernels are inside write_plan; fine timing adds per-call "
+          "overhead, so compare shares, not absolutes.")
     from .pcm import stateplane
     from .perf.engine import STATS
 

@@ -118,6 +118,21 @@ def _flag_expand_table() -> np.ndarray:
     return out
 
 
+@lru_cache(maxsize=1)
+def din_tables() -> "tuple[np.ndarray, np.ndarray]":
+    """The encoder's ``(stored, invert)`` LUTs for native kernels.
+
+    C-contiguous ``(256, 256)`` uint8 arrays indexed ``[old, raw]`` —
+    the exact tables :meth:`DINEncoder.encode_stored_int` gathers from,
+    cached so every backend (and every fused-kernel veneer) shares one
+    pair of buffers whose addresses stay valid for the process lifetime.
+    """
+    return (
+        np.ascontiguousarray(_stored_table()),
+        np.ascontiguousarray(_invert_table()),
+    )
+
+
 @dataclass(frozen=True)
 class EncodedWrite:
     """Result of encoding one line write."""

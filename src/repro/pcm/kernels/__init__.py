@@ -32,8 +32,10 @@ __all__ = [
     "active",
     "active_name",
     "available_backends",
+    "fused_active",
     "get_backend",
     "reset",
+    "set_fused",
 ]
 
 #: Registered backend names, in preference order (fastest-candidate last).
@@ -42,6 +44,7 @@ BACKEND_NAMES: Tuple[str, ...] = ("python", "numpy", "compiled")
 _instances: Dict[str, KernelBackend] = {}
 _active: Optional[KernelBackend] = None
 _unavailable: Dict[str, str] = {}
+_fused: bool = False
 
 
 def _construct(name: str) -> KernelBackend:
@@ -128,9 +131,38 @@ def active_name() -> str:
     return active().name
 
 
+def set_fused(enabled: bool) -> None:
+    """Record the planner's per-batch fused-path decision for this process.
+
+    Like :func:`activate`, the execution layer calls this in the parent
+    and in every pool worker before advancing a chunk; executors read it
+    once at construction via :func:`fused_active`.
+    """
+    global _fused
+    _fused = bool(enabled)
+
+
+def fused_active() -> bool:
+    """Whether demand writes should take the fused write-phase kernel.
+
+    ``REPRO_KERNEL_FUSED=on``/``off`` overrides unconditionally; under
+    ``auto`` (the default) this reports the planner's last
+    :func:`set_fused` decision — ``False`` until anything decides.
+    """
+    from ... import envconfig
+
+    mode = envconfig.kernel_fused()
+    if mode == "on":
+        return True
+    if mode == "off":
+        return False
+    return _fused
+
+
 def reset() -> None:
     """Drop every memoised instance and re-arm failed probes (tests)."""
-    global _active
+    global _active, _fused
     _active = None
+    _fused = False
     _instances.clear()
     _unavailable.clear()

@@ -9,6 +9,7 @@ and the compiled backend reports :class:`BackendUnavailable`.
 
 from __future__ import annotations
 
+import numpy as np
 from numba import njit  # noqa: F401 - gates the whole module
 
 
@@ -87,6 +88,141 @@ def bit_positions(buf, nbytes, out):
             c >>= 1
             bit += 1
     return k
+
+
+@njit(cache=True)
+def write_stage(stored, flags, disturbed, data, data_is_flip,
+                vphys, vstuck, vweak, victim_counts,
+                stored_tab, invert_tab, n_rows, row_bytes, wl_enabled,
+                stored_out, flags_out, logical_out, wl_vuln_out,
+                weak_out, counts_out, vcounts_out):
+    flag_bytes = row_bytes // 8
+    ph = np.empty(row_bytes, np.uint8)
+    chg = np.empty(row_bytes, np.uint8)
+    rs = np.empty(row_bytes, np.uint8)
+    k = 0
+    for r in range(n_rows):
+        ro = r * row_bytes
+        fo = r * flag_bytes
+        reset_bits = 0
+        set_bits = 0
+        wl_bits = 0
+        flip = data_is_flip[r] != 0
+        for i in range(row_bytes):
+            p = stored[ro + i] | disturbed[ro + i]
+            ph[i] = p
+            if flip:
+                if (flags[fo + (i >> 3)] >> (i & 7)) & 1:
+                    dec = stored[ro + i] ^ 0xFF
+                else:
+                    dec = stored[ro + i]
+                lg = dec ^ data[ro + i]
+            else:
+                lg = data[ro + i]
+            logical_out[ro + i] = lg
+            idx = (np.int64(p) << 8) | lg
+            sn = stored_tab[idx]
+            stored_out[ro + i] = sn
+            flags_out[fo + (i >> 3)] |= invert_tab[idx] << (i & 7)
+            c = p ^ sn
+            chg[i] = c
+            rst = c & p
+            rs[i] = rst
+            v = rst
+            while v:
+                v &= v - 1
+                reset_bits += 1
+            v = c & sn
+            while v:
+                v &= v - 1
+                set_bits += 1
+        if wl_enabled:
+            for w in range(row_bytes // 8):
+                for j in range(8):
+                    left = (rs[w * 8 + j] << 1) & 0xFF
+                    if j:
+                        left |= rs[w * 8 + j - 1] >> 7
+                    right = rs[w * 8 + j] >> 1
+                    if j < 7:
+                        right |= (rs[w * 8 + j + 1] << 7) & 0xFF
+                    i = w * 8 + j
+                    v = (left | right) & (chg[i] ^ 0xFF) & (ph[i] ^ 0xFF)
+                    wl_vuln_out[ro + i] = v
+                    while v:
+                        v &= v - 1
+                        wl_bits += 1
+        else:
+            for i in range(row_bytes):
+                wl_vuln_out[ro + i] = 0
+        counts_out[r * 3 + 0] = reset_bits
+        counts_out[r * 3 + 1] = set_bits
+        counts_out[r * 3 + 2] = wl_bits
+        for _v in range(victim_counts[r]):
+            vo = k * row_bytes
+            vuln_bits = 0
+            weak_bits = 0
+            for i in range(row_bytes):
+                vul = rs[i] & (vphys[vo + i] ^ 0xFF) & (vstuck[vo + i] ^ 0xFF)
+                wk = vul & vweak[vo + i]
+                weak_out[vo + i] = wk
+                v = vul
+                while v:
+                    v &= v - 1
+                    vuln_bits += 1
+                v = wk
+                while v:
+                    v &= v - 1
+                    weak_bits += 1
+            vcounts_out[k * 2 + 0] = vuln_bits
+            vcounts_out[k * 2 + 1] = weak_bits
+            k += 1
+
+
+@njit(cache=True)
+def write_apply(wl_vuln, weak, victim_counts, draws, p_wl, p_bl,
+                n_rows, row_bytes, wl_mode, bl_mode,
+                wl_err_out, sampled_out):
+    di = 0
+    k = 0
+    for r in range(n_rows):
+        ro = r * row_bytes
+        errs = 0
+        if wl_mode == 2:
+            for i in range(row_bytes):
+                c = wl_vuln[ro + i]
+                while c:
+                    if c & 1:
+                        if draws[di] < p_wl:
+                            errs += 1
+                        di += 1
+                    c >>= 1
+        elif wl_mode == 1:
+            for i in range(row_bytes):
+                c = wl_vuln[ro + i]
+                while c:
+                    c &= c - 1
+                    errs += 1
+        wl_err_out[r] = errs
+        for _v in range(victim_counts[r]):
+            vo = k * row_bytes
+            for i in range(row_bytes):
+                if bl_mode == 2:
+                    c = weak[vo + i]
+                    o = 0
+                    bit = 1
+                    while c:
+                        if c & 1:
+                            if draws[di] < p_bl:
+                                o |= bit
+                            di += 1
+                        c >>= 1
+                        bit <<= 1
+                    sampled_out[vo + i] = o
+                elif bl_mode == 1:
+                    sampled_out[vo + i] = weak[vo + i]
+                else:
+                    sampled_out[vo + i] = 0
+            k += 1
 
 
 @njit(cache=True)

@@ -87,6 +87,35 @@ class KernelBackend:
         """Row-batched sampling over an ``(N, 8)`` uint64 array."""
         raise NotImplementedError
 
+    # -- fused write phase -------------------------------------------------------
+
+    def write_phase_batch(
+        self,
+        requests,
+        wl_probability: float,
+        bl_probability: float,
+        rng: np.random.Generator,
+        wl_enabled: bool = True,
+    ):
+        """Advance N queued demand writes through the fused write phase.
+
+        One call executes, for every :class:`~.rngplane.WriteRequest` in
+        ``requests``: payload decode (flip requests) -> DIN encode ->
+        differential-write planning -> word-line-vulnerability masking
+        and sampling -> per-victim bit-line vulnerable/weak masking and
+        sampling.  Returns one :class:`~.rngplane.WriteResult` per
+        request.
+
+        **RNG contract** (see :mod:`.rngplane` for the full statement):
+        the whole batch consumes exactly one ``rng.random(total)``
+        plane, request-major, word-line draws before that request's
+        victim draws, set bits in ascending cell order, with the leaf
+        samplers' no-draw probability edges — so the stream position
+        after the call is identical to the per-leaf path's, and
+        identical across every backend.
+        """
+        raise NotImplementedError
+
     # -- counting / positions ----------------------------------------------------
 
     def popcount_rows(self, rows: np.ndarray) -> np.ndarray:

@@ -14,6 +14,7 @@ import numpy as np
 
 from .. import din as D
 from .. import line as L
+from . import rngplane
 from .base import KernelBackend
 
 
@@ -41,6 +42,20 @@ class PythonBackend(KernelBackend):
         self, rows: np.ndarray, probability: float, rng: np.random.Generator
     ) -> np.ndarray:
         return L.sample_masks_rows(rows, probability, rng)
+
+    # -- fused write phase -------------------------------------------------------
+
+    def write_phase_batch(
+        self,
+        requests,
+        wl_probability: float,
+        bl_probability: float,
+        rng: np.random.Generator,
+        wl_enabled: bool = True,
+    ):
+        return rngplane.write_phase_batch_reference(
+            self, requests, wl_probability, bl_probability, rng, wl_enabled
+        )
 
     # -- counting / positions ----------------------------------------------------
 

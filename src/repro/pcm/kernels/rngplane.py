@@ -1,0 +1,314 @@
+"""Batched RNG planes and the fused write-phase reference.
+
+The per-leaf write path interleaves Python work with two separate RNG
+consumptions per demand write: the word-line sample
+(``rng.random(popcount(wl_vuln))`` inside ``sample_mask_int``) and the
+batched victim sample (``rng.random(total_weak)`` inside
+``sample_masks_int``).  The fused write phase replaces both with one
+*RNG plane* — a single vectorized ``Generator.random`` call covering
+every draw a chunk of queued writes will consume — and hands the whole
+sample -> DIN -> VnC-plan loop to the kernel backend in one call.
+
+**Draw-order contract.**  Byte-identity with the per-leaf path hinges on
+``numpy.random.Generator.random`` being *concatenative*: ``random(a)``
+followed by ``random(b)`` advances the bit generator exactly as one
+``random(a + b)`` call whose first ``a`` values equal the first call's
+output.  The plane therefore draws, for a batch of requests, the exact
+uniforms the sequential leaf calls would have drawn, in this order:
+
+1. requests are visited **in batch order**;
+2. per request, the **word-line** stream comes first: one uniform per
+   set bit of the request's word-line-vulnerable mask, in ascending
+   cell order (the order ``sample_mask_int``'s low-bit extraction
+   visits set bits) — *unless* the word-line probability is at an edge
+   (``p <= 0`` or ``p >= 1``), in which case the leaf consumes **no**
+   draws and neither does the plane;
+3. then the **bit-line victim** stream: one uniform per set bit of each
+   victim's weak-candidate mask, victims in request order, bits in
+   ascending cell order (the order ``sample_masks_int`` consumes its
+   one ``rng.random(total)`` block) — again with no draws at the
+   probability edges.
+
+A plane of total width 0 skips the ``Generator`` call entirely, leaving
+the bit-generator state untouched (matching the leaf's early returns).
+Every backend — python, numpy, compiled C, numba — must consume this
+identical stream; the property suite asserts result *and* post-call
+bit-generator-state equality across all of them.
+
+What the plane deliberately does **not** batch: the flip-pool payload
+synthesis (``VnCExecutor._flip_mask``) uses ``rng.integers``, which is
+not concatenative with ``random`` — it stays in Python *before* the
+fused call, in leaf order; and correction-cascade samples depend on
+chip state mutated mid-plan, so they stay on the leaf
+``sample_mask_int`` path *after* the fused call.  Both consume
+``self.rng`` at exactly the same stream positions as the per-leaf path.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as _perf
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .. import line as L
+
+__all__ = [
+    "StagedBatch",
+    "StagedWrite",
+    "WriteRequest",
+    "WriteResult",
+    "apply_reference",
+    "draw_plane",
+    "plane_width",
+    "sample_modes",
+    "stage_reference",
+    "write_phase_batch_reference",
+]
+
+
+class WriteRequest:
+    """One queued demand write, as the fused kernel consumes it.
+
+    ``data`` is either the absolute logical payload or — when
+    ``data_is_flip`` — the flip mask to XOR onto the line's current
+    logical contents (the kernel decodes ``stored``/``flags`` itself in
+    that case, saving a round trip).  ``victims`` holds one
+    ``(physical, stuck, weak_cells)`` int-mask triple per bit-line
+    neighbour staged for disturbance injection.
+    """
+
+    __slots__ = ("stored", "flags", "disturbed", "data", "data_is_flip",
+                 "victims")
+
+    def __init__(
+        self,
+        stored: int,
+        flags: int,
+        disturbed: int,
+        data: int,
+        data_is_flip: bool = False,
+        victims: Sequence[Tuple[int, int, int]] = (),
+    ) -> None:
+        self.stored = stored
+        self.flags = flags
+        self.disturbed = disturbed
+        self.data = data
+        self.data_is_flip = data_is_flip
+        self.victims = tuple(victims)
+
+
+class WriteResult:
+    """Everything the planning layer needs back from one fused write."""
+
+    __slots__ = ("stored", "flags", "logical", "reset_bits", "set_bits",
+                 "wl_vuln_bits", "wl_errors", "victim_vuln_bits",
+                 "victim_sampled")
+
+    def __init__(
+        self,
+        stored: int,
+        flags: int,
+        logical: int,
+        reset_bits: int,
+        set_bits: int,
+        wl_vuln_bits: int,
+        wl_errors: int,
+        victim_vuln_bits: List[int],
+        victim_sampled: List[int],
+    ) -> None:
+        self.stored = stored
+        self.flags = flags
+        self.logical = logical
+        self.reset_bits = reset_bits
+        self.set_bits = set_bits
+        self.wl_vuln_bits = wl_vuln_bits
+        self.wl_errors = wl_errors
+        self.victim_vuln_bits = victim_vuln_bits
+        self.victim_sampled = victim_sampled
+
+    def astuple(self) -> tuple:
+        """Plain-tuple form (equivalence tests compare these)."""
+        return (self.stored, self.flags, self.logical, self.reset_bits,
+                self.set_bits, self.wl_vuln_bits, self.wl_errors,
+                tuple(self.victim_vuln_bits), tuple(self.victim_sampled))
+
+
+class StagedWrite:
+    """Draw-free intermediate state of one request (int domain)."""
+
+    __slots__ = ("stored", "flags", "logical", "reset_bits", "set_bits",
+                 "wl_vuln", "wl_vuln_bits", "victim_vuln_bits",
+                 "victim_weak", "victim_weak_bits")
+
+    def __init__(self, stored: int, flags: int, logical: int,
+                 reset_bits: int, set_bits: int, wl_vuln: int,
+                 victim_vuln_bits: List[int], victim_weak: List[int]) -> None:
+        self.stored = stored
+        self.flags = flags
+        self.logical = logical
+        self.reset_bits = reset_bits
+        self.set_bits = set_bits
+        self.wl_vuln = wl_vuln
+        self.wl_vuln_bits = wl_vuln.bit_count()
+        self.victim_vuln_bits = victim_vuln_bits
+        self.victim_weak = victim_weak
+        self.victim_weak_bits = [weak.bit_count() for weak in victim_weak]
+
+
+#: A staged batch is just the per-request staged states, in batch order.
+StagedBatch = List[StagedWrite]
+
+
+def stage_reference(backend, requests: Sequence[WriteRequest],
+                    wl_enabled: bool = True) -> StagedBatch:
+    """The draw-free half of the fused write phase, in the int domain.
+
+    Decode (flip payloads only) -> DIN encode -> differential-write
+    masks -> word-line-vulnerable mask -> per-victim vulnerable/weak
+    masks.  Consumes no RNG, so a native-stage failure can rerun it from
+    scratch with the stream untouched.
+    """
+    from ..din import wordline_vulnerable_mask_int
+
+    staged: StagedBatch = []
+    for req in requests:
+        physical = req.stored | req.disturbed
+        if req.data_is_flip:
+            logical = backend.decode_int(req.stored, req.flags) ^ req.data
+        else:
+            logical = req.data
+        stored_new, flags_new = backend.encode_stored_int(physical, logical)
+        changed = physical ^ stored_new
+        reset = changed & physical
+        set_bits = (changed & stored_new).bit_count()
+        wl_vuln = (
+            wordline_vulnerable_mask_int(physical, reset, changed)
+            if wl_enabled else 0
+        )
+        vuln_bits: List[int] = []
+        weak_masks: List[int] = []
+        for vphys, vstuck, vweak in req.victims:
+            vulnerable = reset & (vphys ^ L.MASK_ALL) & (vstuck ^ L.MASK_ALL)
+            vuln_bits.append(vulnerable.bit_count())
+            weak_masks.append(vulnerable & vweak)
+        staged.append(StagedWrite(
+            stored=stored_new,
+            flags=flags_new,
+            logical=logical,
+            reset_bits=reset.bit_count(),
+            set_bits=set_bits,
+            wl_vuln=wl_vuln,
+            victim_vuln_bits=vuln_bits,
+            victim_weak=weak_masks,
+        ))
+    return staged
+
+
+def sample_modes(wl_probability: float,
+                 bl_probability: float) -> Tuple[int, int]:
+    """The leaf samplers' edge semantics as ``(wl_mode, bl_mode)``.
+
+    Mode 0: result is empty, no draws (``p <= 0``).  Mode 1: result is
+    the candidate mask itself, no draws (``p >= 1``).  Mode 2: one
+    uniform per candidate bit.  Empty candidates under mode 2 consume
+    nothing either way, so no separate mode is needed for them.
+    """
+    wl_mode = 0 if wl_probability <= 0.0 else (
+        1 if wl_probability >= 1.0 else 2)
+    bl_mode = 0 if bl_probability <= 0.0 else (
+        1 if bl_probability >= 1.0 else 2)
+    return wl_mode, bl_mode
+
+
+def plane_width(staged: StagedBatch, wl_probability: float,
+                bl_probability: float) -> int:
+    """Total uniforms the batch consumes (the draw-order contract)."""
+    wl_mode, bl_mode = sample_modes(wl_probability, bl_probability)
+    total = 0
+    for sw in staged:
+        if wl_mode == 2:
+            total += sw.wl_vuln_bits
+        if bl_mode == 2:
+            total += sum(sw.victim_weak_bits)
+    return total
+
+
+def draw_plane(rng: np.random.Generator, total: int) -> np.ndarray:
+    """Draw one RNG plane; a zero-width plane touches no generator state."""
+    if total == 0:
+        return _EMPTY_PLANE
+    from ...perf.profiler import PROFILER
+
+    if PROFILER.fine:
+        t0 = _perf()
+        draws = rng.random(total)
+        PROFILER.add("rng_draw", _perf() - t0)
+        return draws
+    return rng.random(total)
+
+
+_EMPTY_PLANE = np.empty(0, dtype=np.float64)
+
+
+def apply_reference(staged: StagedBatch, draws: np.ndarray,
+                    wl_probability: float,
+                    bl_probability: float) -> List[WriteResult]:
+    """Consume a drawn plane through the pure-Python scatter.
+
+    This is both the python/numpy backends' fused implementation and the
+    replay path a retiring compiled backend uses after a native fault
+    mid-plane: the plane is already consumed from the stream, so the
+    replay walks the *same* draws through ``line._apply_keep`` — the
+    exact scatter the leaf samplers use — and lands byte-identically.
+    """
+    wl_mode, bl_mode = sample_modes(wl_probability, bl_probability)
+    results: List[WriteResult] = []
+    offset = 0
+    for sw in staged:
+        if wl_mode == 2 and sw.wl_vuln_bits:
+            keep = draws[offset:offset + sw.wl_vuln_bits] < wl_probability
+            offset += sw.wl_vuln_bits
+            wl_errors = int(keep.sum())
+        elif wl_mode == 1:
+            wl_errors = sw.wl_vuln_bits
+        else:
+            wl_errors = 0
+        sampled: List[int] = []
+        for weak, weak_bits in zip(sw.victim_weak, sw.victim_weak_bits):
+            if bl_mode == 2 and weak_bits:
+                keep = draws[offset:offset + weak_bits] < bl_probability
+                offset += weak_bits
+                sampled.append(L._apply_keep(weak, keep))
+            elif bl_mode == 1:
+                sampled.append(weak)
+            else:
+                sampled.append(0)
+        results.append(WriteResult(
+            stored=sw.stored,
+            flags=sw.flags,
+            logical=sw.logical,
+            reset_bits=sw.reset_bits,
+            set_bits=sw.set_bits,
+            wl_vuln_bits=sw.wl_vuln_bits,
+            wl_errors=wl_errors,
+            victim_vuln_bits=list(sw.victim_vuln_bits),
+            victim_sampled=sampled,
+        ))
+    return results
+
+
+def write_phase_batch_reference(
+    backend,
+    requests: Sequence[WriteRequest],
+    wl_probability: float,
+    bl_probability: float,
+    rng: np.random.Generator,
+    wl_enabled: bool = True,
+) -> List[WriteResult]:
+    """The byte-identity reference driver: stage, draw one plane, apply."""
+    staged = stage_reference(backend, requests, wl_enabled)
+    draws = draw_plane(
+        rng, plane_width(staged, wl_probability, bl_probability)
+    )
+    return apply_reference(staged, draws, wl_probability, bl_probability)

@@ -158,6 +158,8 @@ class EngineStats:
     kernel_python_picks: int = 0
     kernel_numpy_picks: int = 0
     kernel_compiled_picks: int = 0
+    #: Cold batches dispatched through the fused write-phase kernel.
+    kernel_fused_picks: int = 0
     #: Rounds reclaimed by the heartbeat watchdog before the deadline.
     watchdog_stalls: int = 0
     #: Circuit-breaker transitions (see ``repro.resilience.breaker``).
@@ -257,6 +259,8 @@ class EngineStats:
                 f"{self.kernel_numpy_picks} numpy / "
                 f"{self.kernel_compiled_picks} compiled picks"
             )
+        if self.kernel_fused_picks:
+            base += f"; fused write phase: {self.kernel_fused_picks} batches"
         if self.batched_cells:
             base += (
                 f"; batch: {self.batched_cells} cells in "
@@ -457,6 +461,7 @@ class CellRunner:
         if self.jobs <= 1:
             return 0
         kernel = self._resolve_kernel()
+        fused = self._resolve_fused(kernel)
         hb = self._heartbeat_handle()
         submitted = 0
         seen: set = set()
@@ -480,7 +485,8 @@ class CellRunner:
             with defer_sigint():
                 try:
                     future = pool.submit(
-                        _simulate_with_phases, spec, handle, kernel, hb
+                        _simulate_with_phases, spec, handle, kernel, hb,
+                        fused,
                     )
                 except (BrokenProcessPool, RuntimeError):
                     # The pool died mid-prefetch; unsubmitted cells simply
@@ -528,10 +534,13 @@ class CellRunner:
         if not specs:
             return []
         mode = self._pick_mode(len(specs))
-        # One kernel backend per cold batch: activated here for the
-        # in-process paths and shipped by name to every pool worker.
+        # One kernel backend (and one fused-vs-leaf decision) per cold
+        # batch: activated here for the in-process paths and shipped by
+        # name/flag to every pool worker.
         kernel = self._resolve_kernel()
         kernels.activate(kernel)
+        fused = self._resolve_fused(kernel)
+        kernels.set_fused(fused)
         pool_alive = WARM_POOL.alive
         start = time.monotonic()
         if mode == "serial":
@@ -543,16 +552,16 @@ class CellRunner:
             wall = time.monotonic() - start
             PLANNER.observe("serial", len(specs), wall)
         elif mode == "batch":
-            out = self._simulate_batched(specs, notify, kernel)
+            out = self._simulate_batched(specs, notify, kernel, fused)
             wall = time.monotonic() - start
             PLANNER.observe("batch", len(specs), wall)
         else:
-            out = self._simulate_pooled(specs, notify, kernel)
+            out = self._simulate_pooled(specs, notify, kernel, fused)
             wall = time.monotonic() - start
             PLANNER.observe(
                 "pool_warm" if pool_alive else "pool_cold", len(specs), wall
             )
-        PLANNER.observe_kernel(kernel, len(specs), wall)
+        PLANNER.observe_kernel(kernel, len(specs), wall, fused=fused)
         self._observe_kernel_health(kernel)
         return out
 
@@ -609,6 +618,25 @@ class CellRunner:
             STATS.kernel_compiled_picks += 1
         return name
 
+    def _resolve_fused(self, kernel: str) -> bool:
+        """Whether the next cold batch takes the fused write-phase path.
+
+        ``REPRO_KERNEL_FUSED=on``/``off`` overrides outright; ``auto``
+        asks the planner whether ``kernel``'s fused cost row beats its
+        leaf row on this host.  Both paths are byte-identical, so — like
+        the backend pick — this is pure performance.
+        """
+        mode = envconfig.kernel_fused()
+        if mode == "on":
+            fused = True
+        elif mode == "off":
+            fused = False
+        else:
+            fused = PLANNER.decide_fused(kernel)
+        if fused:
+            STATS.kernel_fused_picks += 1
+        return fused
+
     def _pick_mode(self, cells: int) -> str:
         """Resolve the execution mode for one cold batch.
 
@@ -645,7 +673,8 @@ class CellRunner:
         return watchdog.HEARTBEATS.ensure()
 
     def _simulate_batched(
-        self, specs: List[CellSpec], notify: _OnResult, kernel: str
+        self, specs: List[CellSpec], notify: _OnResult, kernel: str,
+        fused: bool = False,
     ) -> List[SimulationResult]:
         """Batched pool execution: one future advances a whole chunk.
 
@@ -680,7 +709,7 @@ class CellRunner:
                     with defer_sigint():
                         futures[position] = pool.submit(
                             batchexec.simulate_chunk, chunk_specs, handles,
-                            kernel, hb,
+                            kernel, hb, fused,
                         )
                     submitted[position] = chunk
                     STATS.batch_dispatches += 1
@@ -727,7 +756,7 @@ class CellRunner:
 
             if len(sub_specs) > 1:
                 sub_results = self._simulate_pooled(
-                    sub_specs, sub_notify, kernel
+                    sub_specs, sub_notify, kernel, fused
                 )
             else:
                 sub_results = [simulate_cell(sub_specs[0])]
@@ -737,7 +766,8 @@ class CellRunner:
         return results  # type: ignore[return-value]  # every slot is filled
 
     def _simulate_pooled(
-        self, specs: List[CellSpec], notify: _OnResult, kernel: str
+        self, specs: List[CellSpec], notify: _OnResult, kernel: str,
+        fused: bool = False,
     ) -> List[SimulationResult]:
         """The failure-handling ladder: pool -> retries -> serial fallback.
 
@@ -760,7 +790,9 @@ class CellRunner:
                     "retrying %d failed cell(s), round %d/%d",
                     len(pending), attempt, self.retries,
                 )
-            pending = self._pool_round(specs, pending, results, notify, kernel)
+            pending = self._pool_round(
+                specs, pending, results, notify, kernel, fused
+            )
         if pending:
             STATS.serial_fallback_cells += len(pending)
             _LOG.warning(
@@ -779,6 +811,7 @@ class CellRunner:
         results: List[Optional[SimulationResult]],
         notify: _OnResult,
         kernel: str,
+        fused: bool = False,
     ) -> List[int]:
         """Run one warm-pool attempt over ``indices``; returns the failures.
 
@@ -799,7 +832,7 @@ class CellRunner:
                 with defer_sigint():
                     futures[index] = pool.submit(
                         _simulate_with_phases, specs[index], handle, kernel,
-                        hb,
+                        hb, fused,
                     )
         except (BrokenProcessPool, RuntimeError):
             for future in futures.values():
@@ -970,7 +1003,7 @@ def _publish_trace(spec: CellSpec):
 
 
 def _simulate_with_phases(
-    spec: CellSpec, handle=None, kernel=None, hb=None
+    spec: CellSpec, handle=None, kernel=None, hb=None, fused: bool = False
 ) -> tuple:
     """Pool worker: simulate one cell, shipping its phase timings back.
 
@@ -981,7 +1014,8 @@ def _simulate_with_phases(
     is reset before each cell and its delta returned with the result.
     ``kernel`` names the parent's bit-kernel backend pick; a worker that
     cannot construct it degrades to the byte-identical pure-Python
-    reference.  ``hb`` names the parent's heartbeat segment: the worker
+    reference.  ``fused`` ships the parent's fused write-phase decision
+    the same way.  ``hb`` names the parent's heartbeat segment: the worker
     stamps it per cell (and the armed event loop stamps it mid-cell) so
     the watchdog can tell slow from wedged.
     """
@@ -991,6 +1025,7 @@ def _simulate_with_phases(
         shm.ensure_attached(handle)
     if kernel is not None:
         kernels.activate_preferred(kernel)
+        kernels.set_fused(bool(fused))
     PROFILER.reset()
     result = simulate_cell(spec)
     snapshot: Snapshot = PROFILER.snapshot()

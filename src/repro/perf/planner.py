@@ -86,9 +86,22 @@ KERNEL_DEFAULT_COSTS = {
     "compiled": 0.078,
 }
 
-#: The committed kernel calibration baseline (repo root, schema v2:
-#: carries per-backend cold-cell timings and the measuring host's
-#: fingerprint).
+#: Conservative per-cell seconds per backend on the **fused**
+#: write-phase path, used before calibration or observation exists.
+#: Fusing pays off where it removes native-call round trips, so the
+#: defaults make ``auto`` try fused only on the compiled backend; the
+#: interpreted backends start slightly above their leaf costs (the
+#: fused reference adds Python driver overhead) and earn the fused pick
+#: only by measuring faster on this host.
+KERNEL_FUSED_DEFAULT_COSTS = {
+    "python": 0.095,
+    "numpy": 0.092,
+    "compiled": 0.060,
+}
+
+#: The committed kernel calibration baseline (repo root, schema v3:
+#: carries per-backend leaf and fused cold-cell timings and the
+#: measuring host's fingerprint).
 KERNEL_CALIBRATION_FILE = "BENCH_kernels.json"
 
 
@@ -141,6 +154,9 @@ class AdaptivePlanner:
         self._observed: Dict[str, int] = {}
         self._seeded = False
         self._kernel_costs: Dict[str, float] = dict(KERNEL_DEFAULT_COSTS)
+        self._kernel_fused_costs: Dict[str, float] = dict(
+            KERNEL_FUSED_DEFAULT_COSTS
+        )
         self._kernel_observed: Dict[str, int] = {}
         self._kernel_seeded = False
 
@@ -191,10 +207,11 @@ class AdaptivePlanner:
             self.seed_from_file()
 
     def seed_kernels_from_file(self, path: Optional[Path] = None) -> bool:
-        """Seed per-backend kernel costs from BENCH_kernels.json (v2).
+        """Seed per-backend kernel costs from BENCH_kernels.json (v3).
 
-        The v2 schema carries a ``backends`` table of per-backend
-        cold-cell seconds plus the measuring host's fingerprint;
+        The schema carries a ``backends`` table of per-backend cold-cell
+        seconds — leaf (``cold_cell_s``) and, since v3, fused
+        (``cold_cell_fused_s``) — plus the measuring host's fingerprint;
         baselines from a materially different host are ignored (the
         defaults plus online EWMA take over).  Returns whether anything
         was loaded.
@@ -227,6 +244,10 @@ class AdaptivePlanner:
             if isinstance(value, (int, float)) and value > 0:
                 self._kernel_costs[name] = float(value)
                 loaded = True
+            fused = entry.get("cold_cell_fused_s")
+            if isinstance(fused, (int, float)) and fused > 0:
+                self._kernel_fused_costs[name] = float(fused)
+                loaded = True
         return loaded
 
     def _ensure_kernel_seeded(self) -> None:
@@ -253,24 +274,34 @@ class AdaptivePlanner:
         )
         self._observed[mode] = self._observed.get(mode, 0) + 1
 
-    def kernel_cost(self, backend: str) -> float:
-        """Current per-cell seconds estimate for a kernel backend."""
+    def kernel_cost(self, backend: str, fused: bool = False) -> float:
+        """Current per-cell seconds estimate for a kernel backend.
+
+        ``fused`` selects the fused write-phase cost row; leaf and fused
+        are modelled independently per backend because fusing shifts
+        where time goes (call overhead vs Python driver work) and the
+        ratio differs across backends.
+        """
         self._ensure_kernel_seeded()
+        if fused:
+            return self._kernel_fused_costs[backend]
         return self._kernel_costs[backend]
 
-    def observe_kernel(self, backend: str, cells: int, seconds: float) -> None:
+    def observe_kernel(
+        self, backend: str, cells: int, seconds: float, fused: bool = False
+    ) -> None:
         """Fold one batch run under ``backend`` into its cost (EWMA)."""
         if cells < 1 or seconds < 0 or backend not in self._kernel_costs:
             return
         self._ensure_kernel_seeded()
+        costs = self._kernel_fused_costs if fused else self._kernel_costs
         per_cell = seconds / cells
-        previous = self._kernel_costs[backend]
-        self._kernel_costs[backend] = (
+        previous = costs[backend]
+        costs[backend] = (
             EWMA_ALPHA * per_cell + (1.0 - EWMA_ALPHA) * previous
         )
-        self._kernel_observed[backend] = (
-            self._kernel_observed.get(backend, 0) + 1
-        )
+        key = f"{backend}_fused" if fused else backend
+        self._kernel_observed[key] = self._kernel_observed.get(key, 0) + 1
 
     # -- decisions ---------------------------------------------------------
 
@@ -320,12 +351,32 @@ class AdaptivePlanner:
         ``available`` is the registry's constructible-backends tuple for
         this host, so a machine with no compiler and no numba degrades
         to the pure-Python reference without any special casing here.
+        Each backend is costed at the cheaper of its leaf and fused
+        write-phase rows (:meth:`decide_fused` then says which row won).
         """
         self._ensure_kernel_seeded()
         candidates = [name for name in available if name in self._kernel_costs]
         if not candidates:
             return "python"
-        return min(candidates, key=lambda name: self._kernel_costs[name])
+        return min(
+            candidates,
+            key=lambda name: min(
+                self._kernel_costs[name], self._kernel_fused_costs[name]
+            ),
+        )
+
+    def decide_fused(self, backend: str) -> bool:
+        """Whether ``backend`` should take the fused write-phase path.
+
+        True exactly when the backend's fused cost row measures (or
+        defaults) below its leaf row — the fused pick has to *earn* its
+        dispatch on this host, so a fused regression steers ``auto``
+        back to the per-leaf path within a few EWMA observations.
+        """
+        self._ensure_kernel_seeded()
+        if backend not in self._kernel_costs:
+            return False
+        return self._kernel_fused_costs[backend] < self._kernel_costs[backend]
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -335,9 +386,16 @@ class AdaptivePlanner:
         return dict(self._costs)
 
     def kernel_snapshot(self) -> Dict[str, float]:
-        """The current per-backend kernel cost model."""
+        """The current per-backend kernel cost model.
+
+        Leaf rows under the backend name, fused rows under
+        ``<backend>_fused``.
+        """
         self._ensure_kernel_seeded()
-        return dict(self._kernel_costs)
+        snapshot = dict(self._kernel_costs)
+        for name, value in self._kernel_fused_costs.items():
+            snapshot[f"{name}_fused"] = value
+        return snapshot
 
     def reset(self) -> None:
         """Back to defaults; calibration re-seeds lazily (test isolation)."""
@@ -345,6 +403,7 @@ class AdaptivePlanner:
         self._observed.clear()
         self._seeded = False
         self._kernel_costs = dict(KERNEL_DEFAULT_COSTS)
+        self._kernel_fused_costs = dict(KERNEL_FUSED_DEFAULT_COSTS)
         self._kernel_observed.clear()
         self._kernel_seeded = False
 

@@ -33,10 +33,19 @@ from repro.perf.planner import (
     DEFAULT_COSTS,
     EWMA_ALPHA,
     KERNEL_DEFAULT_COSTS,
+    KERNEL_FUSED_DEFAULT_COSTS,
     AdaptivePlanner,
     fingerprint_matches,
     host_fingerprint,
 )
+
+
+def full_kernel_defaults() -> dict:
+    """The default kernel snapshot: leaf rows plus ``_fused`` rows."""
+    snapshot = dict(KERNEL_DEFAULT_COSTS)
+    for name, value in KERNEL_FUSED_DEFAULT_COSTS.items():
+        snapshot[f"{name}_fused"] = value
+    return snapshot
 
 SMALL = dict(length=60, cores=2)
 MAIN_PID = os.getpid()
@@ -265,9 +274,14 @@ class TestKernelPlanner:
         planner.observe_kernel("compiled", cells=0, seconds=1.0)  # ignored
         planner.observe_kernel("fortran", cells=1, seconds=1.0)  # ignored
         assert planner.kernel_cost("compiled") == pytest.approx(expected)
-        # Enough slow observations flip the decision to the next backend.
+        # Enough slow observations flip the decision to the next backend
+        # — on *both* cost rows, since a backend is costed at the
+        # cheaper of its leaf and fused paths.
         for _ in range(12):
             planner.observe_kernel("compiled", cells=1, seconds=9.0)
+            planner.observe_kernel(
+                "compiled", cells=1, seconds=9.0, fused=True
+            )
         assert planner.decide_kernel(("python", "numpy", "compiled")) == (
             "numpy"
         )
@@ -275,12 +289,12 @@ class TestKernelPlanner:
     def test_seed_kernels_from_file(self, tmp_path):
         path = tmp_path / "BENCH_kernels.json"
         path.write_text(json.dumps({
-            "schema_version": 2,
+            "schema_version": 3,
             "host": host_fingerprint(),
             "backends": {
-                "python": {"cold_cell_s": 0.5},
+                "python": {"cold_cell_s": 0.5, "cold_cell_fused_s": 0.45},
                 "numpy": {"cold_cell_s": 0.4},
-                "compiled": {"cold_cell_s": 0.1},
+                "compiled": {"cold_cell_s": 0.1, "cold_cell_fused_s": 0.05},
                 "fortran": {"cold_cell_s": 0.01},  # unknown: ignored
             },
         }))
@@ -288,6 +302,9 @@ class TestKernelPlanner:
         assert planner.seed_kernels_from_file(path) is True
         assert planner.kernel_snapshot() == {
             "python": 0.5, "numpy": 0.4, "compiled": 0.1,
+            "python_fused": 0.45, "compiled_fused": 0.05,
+            # No fused measurement for numpy: the default row stays.
+            "numpy_fused": KERNEL_FUSED_DEFAULT_COSTS["numpy"],
         }
 
     def test_seed_kernels_ignores_foreign_host(self, tmp_path):
@@ -299,7 +316,7 @@ class TestKernelPlanner:
         }))
         planner = self._planner()
         assert planner.seed_kernels_from_file(path) is False
-        assert planner.kernel_snapshot() == KERNEL_DEFAULT_COSTS
+        assert planner.kernel_snapshot() == full_kernel_defaults()
 
     def test_seed_kernels_ignores_malformed_files(self, tmp_path):
         planner = self._planner()
@@ -310,14 +327,52 @@ class TestKernelPlanner:
         flat = tmp_path / "flat.json"
         flat.write_text(json.dumps({"backends": "compiled"}))
         assert planner.seed_kernels_from_file(flat) is False
-        assert planner.kernel_snapshot() == KERNEL_DEFAULT_COSTS
+        assert planner.kernel_snapshot() == full_kernel_defaults()
 
     def test_reset_restores_kernel_defaults(self):
         planner = self._planner()
         planner.observe_kernel("python", cells=1, seconds=9.0)
+        planner.observe_kernel("python", cells=1, seconds=9.0, fused=True)
         planner.reset()
         planner._kernel_seeded = True
-        assert planner.kernel_snapshot() == KERNEL_DEFAULT_COSTS
+        assert planner.kernel_snapshot() == full_kernel_defaults()
+
+    def test_decide_fused_defaults(self):
+        """Out of the box ``auto`` fuses only where fusing pays: the
+        compiled backend's fused default undercuts its leaf row; the
+        interpreted backends must measure faster first."""
+        planner = self._planner()
+        assert planner.decide_fused("compiled") is True
+        assert planner.decide_fused("python") is False
+        assert planner.decide_fused("numpy") is False
+        assert planner.decide_fused("fortran") is False  # unknown name
+
+    def test_fused_observations_flip_decide_fused(self):
+        planner = self._planner()
+        # A fused regression steers compiled back to the leaf path...
+        for _ in range(12):
+            planner.observe_kernel(
+                "compiled", cells=1, seconds=9.0, fused=True
+            )
+        assert planner.decide_fused("compiled") is False
+        # ...and fast fused measurements earn python the fused pick.
+        for _ in range(12):
+            planner.observe_kernel(
+                "python", cells=1, seconds=0.001, fused=True
+            )
+        assert planner.decide_fused("python") is True
+
+    def test_observe_kernel_fused_is_a_separate_ewma(self):
+        planner = self._planner()
+        leaf_before = planner.kernel_cost("compiled")
+        fused_before = planner.kernel_cost("compiled", fused=True)
+        planner.observe_kernel("compiled", cells=2, seconds=2.0, fused=True)
+        expected = EWMA_ALPHA * 1.0 + (1 - EWMA_ALPHA) * fused_before
+        assert planner.kernel_cost("compiled", fused=True) == (
+            pytest.approx(expected)
+        )
+        # The leaf row is untouched by fused observations.
+        assert planner.kernel_cost("compiled") == leaf_before
 
 
 class TestBatchedEngine:
@@ -410,6 +465,32 @@ class TestBatchedEngine:
         )
         assert picks == 1
         assert "kernels:" in STATS.summary()
+
+    def test_forced_fused_counts_and_stays_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        specs = [small_cell("stream"), small_cell("mcf")]
+        want = [
+            payload(r)
+            for r in CellRunner(
+                jobs=1, cache=ResultCache(tmp_path / "leaf", enabled=True)
+            ).run_cells(specs)
+        ]
+        monkeypatch.setenv("REPRO_KERNEL_FUSED", "1")
+        results = CellRunner(
+            jobs=1, cache=ResultCache(tmp_path / "fused", enabled=True)
+        ).run_cells(specs)
+        assert [payload(r) for r in results] == want
+        assert STATS.kernel_fused_picks >= 1
+        assert "fused write phase" in STATS.summary()
+
+    def test_fused_off_never_picks(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_FUSED", "off")
+        CellRunner(
+            jobs=1, cache=ResultCache(tmp_path / "off", enabled=True)
+        ).run_cells([small_cell("stream")])
+        assert STATS.kernel_fused_picks == 0
+        assert "fused write phase" not in STATS.summary()
 
     def test_invalid_plan_and_batch_cells_rejected(self):
         with pytest.raises(ValueError, match="plan must be one of"):

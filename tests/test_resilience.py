@@ -482,6 +482,11 @@ class TestDegradedByteIdentity:
         breakers for all three dependencies plus memory-pressure serial
         forcing.  The sweep must still return the clean-serial bytes."""
         specs, expected = clean_results
+        # The open kernel breaker only stays open when `auto` routes
+        # around the native backends; a forced REPRO_KERNEL_BACKEND
+        # (CI's compiled-smoke legs) bypasses the breaker, and its clean
+        # native batches would close it mid-sweep.
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "auto")
         for name in ("kernel", "cache", "shm"):
             breaker(name).trip("chaos: everything is on fire")
         monkeypatch.setenv("REPRO_MEM_BUDGET_MB", "100")
